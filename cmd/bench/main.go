@@ -1,0 +1,76 @@
+// Command bench regenerates the paper's tables and figures on the synthetic
+// dataset stand-ins and prints them as markdown.
+//
+// Usage:
+//
+//	bench -experiment all -scale medium -reps 3 -o EXPERIMENTS.md
+//	bench -experiment fig-compare -scale small -graphs asia_osm,com-Orkut -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"nulpa/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all': "+strings.Join(bench.ExperimentIDs(), ", "))
+		scaleStr   = flag.String("scale", "small", "dataset scale: small, medium, large")
+		reps       = flag.Int("reps", 1, "timing repetitions per cell (minimum kept)")
+		sms        = flag.Int("sms", 0, "simulated streaming multiprocessors (0 = host parallelism)")
+		graphs     = flag.String("graphs", "", "comma-separated dataset names (default: all of Table 1)")
+		out        = flag.String("o", "", "write markdown to this file instead of stdout")
+		verbose    = flag.Bool("v", false, "print per-cell progress to stderr")
+	)
+	flag.Parse()
+
+	scale, ok := bench.ParseScale(*scaleStr)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench: bad -scale %q\n", *scaleStr)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Scale: scale, Reps: *reps, SMs: *sms}
+	if *graphs != "" {
+		cfg.Graphs = strings.Split(*graphs, ",")
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	ids := bench.ExperimentIDs()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	fmt.Fprintf(w, "# ν-LPA experiment results\n\nscale=%s reps=%d date=%s\n\n",
+		scale, *reps, time.Now().Format("2006-01-02"))
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		for _, t := range tables {
+			fmt.Fprint(w, t.Markdown())
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,95 @@
+// Command graphgen generates synthetic graphs from the paper's dataset
+// classes and writes them to disk (format by extension: .mtx Matrix Market,
+// .bin binary, otherwise edge list).
+//
+// Example:
+//
+//	graphgen -type road -n 1000000 -seed 7 -o asia_osm_like.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nulpa/internal/gen"
+	"nulpa/internal/graph"
+)
+
+func main() {
+	var (
+		typ  = flag.String("type", "web", "graph class: web, social, road, kmer, er, planted, rgg")
+		n    = flag.Int("n", 100000, "vertex count (social: rounded up to a power of two)")
+		deg  = flag.Int("deg", 8, "average degree parameter")
+		seed = flag.Int64("seed", 1, "generator seed")
+		out  = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: -o is required")
+		os.Exit(2)
+	}
+
+	var g *graph.CSR
+	switch *typ {
+	case "web":
+		g = gen.Web(gen.DefaultWeb(*n, *deg, *seed))
+	case "social":
+		scale := 0
+		for 1<<scale < *n {
+			scale++
+		}
+		g = gen.RMAT(gen.DefaultRMAT(scale, *deg, *seed))
+	case "road":
+		g = gen.Road(gen.DefaultRoad(*n, *seed))
+	case "kmer":
+		g = gen.KMer(gen.DefaultKMer(*n, *seed))
+	case "er":
+		g = gen.ErdosRenyi(*n, *n**deg/2, *seed)
+	case "planted":
+		g, _ = gen.Planted(gen.PlantedConfig{N: *n, Communities: 16, DegIn: float64(*deg), DegOut: 1, Seed: *seed})
+	case "rgg":
+		g = gen.RGG(*n, 0.05, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown -type %q\n", *typ)
+		os.Exit(2)
+	}
+
+	var err error
+	switch {
+	case hasSuffix(*out, ".mtx"):
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			err = ferr
+			break
+		}
+		err = graph.WriteMatrixMarket(f, g)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	case hasSuffix(*out, ".bin"), hasSuffix(*out, ".nlpg"):
+		err = graph.WriteBinaryFile(*out, g)
+	case hasSuffix(*out, ".graph"), hasSuffix(*out, ".metis"):
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			err = ferr
+			break
+		}
+		err = graph.WriteMETIS(f, g)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	default:
+		err = graph.WriteEdgeListFile(*out, g)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+	st := graph.ComputeStats(g)
+	fmt.Printf("wrote %s: %s\n", *out, st)
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

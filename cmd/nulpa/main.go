@@ -1,0 +1,198 @@
+// Command nulpa runs community detection on a graph with any of the
+// repository's six algorithms and reports runtime, iteration count,
+// community count, and modularity.
+//
+// The input graph comes either from a file (-graph, format by extension:
+// .mtx Matrix Market, .bin binary, otherwise edge list) or from a generator
+// (-gen web|social|road|kmer|er|planted with -n/-deg/-seed).
+//
+// Examples:
+//
+//	nulpa -gen web -n 100000 -deg 8
+//	nulpa -graph mygraph.mtx -algo louvain
+//	nulpa -gen social -n 65536 -algo nulpa -backend direct -pickless 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nulpa/internal/flpa"
+	"nulpa/internal/gen"
+	"nulpa/internal/graph"
+	"nulpa/internal/gunrock"
+	"nulpa/internal/gvelpa"
+	"nulpa/internal/hashtable"
+	"nulpa/internal/louvain"
+	"nulpa/internal/nulpa"
+	"nulpa/internal/plp"
+	"nulpa/internal/quality"
+	"nulpa/internal/simt"
+	"nulpa/internal/variants"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (.mtx, .bin, or edge list)")
+		genName   = flag.String("gen", "", "generator: web, social, road, kmer, er, planted")
+		n         = flag.Int("n", 100000, "generator vertex count (social: rounded to a power of two)")
+		deg       = flag.Int("deg", 8, "generator average degree parameter")
+		seed      = flag.Int64("seed", 1, "generator / algorithm seed")
+		algo      = flag.String("algo", "nulpa", "algorithm: nulpa, flpa, plp, gvelpa, gunrock, louvain, slpa, copra, labelrank")
+		backend   = flag.String("backend", "simt", "nulpa backend: simt or direct")
+		pickless  = flag.Int("pickless", 4, "nulpa: apply Pick-Less every N iterations (0 = off)")
+		crosschk  = flag.Int("crosscheck", 0, "nulpa: apply Cross-Check every N iterations (0 = off)")
+		probing   = flag.String("probing", "quadratic-double", "nulpa: linear, quadratic, double, quadratic-double")
+		switchDeg = flag.Int("switch", 32, "nulpa: thread/block kernel switch degree")
+		f64       = flag.Bool("f64", false, "nulpa: use float64 hashtable values")
+		sms       = flag.Int("sms", 0, "nulpa simt backend: simulated SMs (0 = host parallelism)")
+		membudget = flag.Int64("membudget", 0, "nulpa simt backend: device memory budget in bytes (0 = unlimited)")
+		writeTo   = flag.String("write-labels", "", "write 'vertex label' lines to this file")
+		trace     = flag.Bool("trace", false, "nulpa: print per-iteration diagnostics")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *genName, *n, *deg, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+		os.Exit(1)
+	}
+	st := graph.ComputeStats(g)
+	fmt.Printf("graph: %s\n", st)
+
+	var labels []uint32
+	var dur time.Duration
+	var iters int
+	converged := "n/a"
+
+	switch *algo {
+	case "nulpa":
+		opt := nulpa.DefaultOptions()
+		opt.PickLessEvery = *pickless
+		opt.CrossCheckEvery = *crosschk
+		opt.SwitchDegree = *switchDeg
+		if *f64 {
+			opt.ValueKind = hashtable.Float64
+		}
+		switch *probing {
+		case "linear":
+			opt.Probing = hashtable.Linear
+		case "quadratic":
+			opt.Probing = hashtable.Quadratic
+		case "double":
+			opt.Probing = hashtable.Double
+		case "quadratic-double":
+			opt.Probing = hashtable.QuadraticDouble
+		default:
+			fmt.Fprintf(os.Stderr, "nulpa: bad -probing %q\n", *probing)
+			os.Exit(2)
+		}
+		if *backend == "direct" {
+			opt.Backend = nulpa.BackendDirect
+		} else {
+			opt.Device = simt.NewDevice(*sms)
+			opt.Device.MemBudget = *membudget
+		}
+		res, err := nulpa.Detect(g, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+			os.Exit(1)
+		}
+		labels, dur, iters = res.Labels, res.Duration, res.Iterations
+		converged = fmt.Sprint(res.Converged)
+		if *trace {
+			fmt.Printf("%5s %6s %6s %9s %9s %12s\n", "iter", "PL", "CC", "moves", "reverts", "time")
+			for i, it := range res.Trace {
+				fmt.Printf("%5d %6v %6v %9d %9d %12v\n", i, it.PickLess, it.CrossCheck, it.Moves, it.Reverts, it.Duration.Round(time.Microsecond))
+			}
+		}
+	case "flpa":
+		res := flpa.Detect(g, flpa.Options{Seed: *seed})
+		labels, dur = res.Labels, res.Duration
+		iters = int(res.Steps)
+	case "plp":
+		res := plp.Detect(g, plp.DefaultOptions())
+		labels, dur, iters = res.Labels, res.Duration, res.Iterations
+		converged = fmt.Sprint(res.Converged)
+	case "gvelpa":
+		res := gvelpa.Detect(g, gvelpa.DefaultOptions())
+		labels, dur, iters = res.Labels, res.Duration, res.Iterations
+		converged = fmt.Sprint(res.Converged)
+	case "gunrock":
+		res := gunrock.Detect(g, gunrock.DefaultOptions())
+		labels, dur, iters = res.Labels, res.Duration, res.Iterations
+		converged = fmt.Sprint(res.Converged)
+	case "louvain":
+		res := louvain.Detect(g, louvain.DefaultOptions())
+		labels, dur, iters = res.Labels, res.Duration, res.Iterations
+	case "slpa":
+		opt := variants.DefaultSLPAOptions()
+		opt.Seed = *seed
+		res := variants.SLPA(g, opt)
+		labels, dur, iters = res.Labels, res.Duration, res.Iterations
+	case "copra":
+		res := variants.COPRA(g, variants.DefaultCOPRAOptions())
+		labels, dur, iters = res.Labels, res.Duration, res.Iterations
+		converged = fmt.Sprint(res.Converged)
+	case "labelrank":
+		res := variants.LabelRank(g, variants.DefaultLabelRankOptions())
+		labels, dur, iters = res.Labels, res.Duration, res.Iterations
+		converged = fmt.Sprint(res.Converged)
+	default:
+		fmt.Fprintf(os.Stderr, "nulpa: bad -algo %q\n", *algo)
+		os.Exit(2)
+	}
+
+	sum := quality.Summarize(g, labels)
+	rate := float64(st.NumArcs) / dur.Seconds() / 1e6
+	fmt.Printf("algo: %s\n", *algo)
+	fmt.Printf("time: %v (%.1fM arcs/s)\n", dur.Round(time.Microsecond), rate)
+	fmt.Printf("iterations: %d  converged: %s\n", iters, converged)
+	fmt.Printf("result: %s\n", sum)
+
+	if *writeTo != "" {
+		f, err := os.Create(*writeTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+			os.Exit(1)
+		}
+		for v, c := range labels {
+			fmt.Fprintf(f, "%d %d\n", v, c)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func loadGraph(path, genName string, n, deg int, seed int64) (*graph.CSR, error) {
+	if path != "" {
+		return graph.ReadFile(path)
+	}
+	switch genName {
+	case "web":
+		return gen.Web(gen.DefaultWeb(n, deg, seed)), nil
+	case "social":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		return gen.RMAT(gen.DefaultRMAT(scale, deg, seed)), nil
+	case "road":
+		return gen.Road(gen.DefaultRoad(n, seed)), nil
+	case "kmer":
+		return gen.KMer(gen.DefaultKMer(n, seed)), nil
+	case "er":
+		return gen.ErdosRenyi(n, n*deg/2, seed), nil
+	case "planted":
+		g, _ := gen.Planted(gen.PlantedConfig{N: n, Communities: 16, DegIn: float64(deg), DegOut: 1, Seed: seed})
+		return g, nil
+	case "":
+		return nil, fmt.Errorf("need -graph or -gen (web, social, road, kmer, er, planted)")
+	default:
+		return nil, fmt.Errorf("unknown generator %q", genName)
+	}
+}

@@ -1,0 +1,47 @@
+// Socialnet: sweep the swap-mitigation methods on a social network running
+// on the simulated GPU — a miniature of the paper's Figure 1 showing why
+// Pick-Less every 4 iterations (PL4) is the published choice.
+//
+// Run with: go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nulpa/internal/gen"
+	"nulpa/internal/nulpa"
+	"nulpa/internal/quality"
+	"nulpa/internal/simt"
+)
+
+func main() {
+	g, _ := gen.Social(gen.DefaultSocial(8000, 16, 19)) // heavy-tailed, planted communities
+	fmt.Printf("social network stand-in: %d users, %d ties\n\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("%-10s %9s %7s %6s %10s\n", "method", "time", "iters", "conv", "modularity")
+
+	run := func(name string, pl, cc int) {
+		opt := nulpa.DefaultOptions()
+		opt.PickLessEvery = pl
+		opt.CrossCheckEvery = cc
+		opt.Device = simt.NewDevice(0)
+		res, err := nulpa.Detect(g, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %9v %7d %6v %10.4f\n",
+			name, res.Duration.Round(1000), res.Iterations, res.Converged,
+			quality.Modularity(g, res.Labels))
+	}
+
+	run("none", 0, 0) // unmitigated: may burn all 20 iterations on swaps
+	for i := 1; i <= 4; i++ {
+		run(fmt.Sprintf("CC%d", i), 0, i)
+	}
+	for i := 1; i <= 4; i++ {
+		run(fmt.Sprintf("PL%d", i), i, 0)
+	}
+	run("H(2,2)", 2, 2)
+
+	fmt.Println("\npaper: PL4 gives the best modularity at ~8% over the fastest method's runtime")
+}

@@ -1,0 +1,3 @@
+module nulpa
+
+go 1.22

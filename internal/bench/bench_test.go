@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"small", "medium", "large"} {
+		sc, ok := ParseScale(s)
+		if !ok || sc.String() != s {
+			t.Errorf("ParseScale(%q) = %v,%v", s, sc, ok)
+		}
+	}
+	if _, ok := ParseScale("huge"); ok {
+		t.Error("accepted bad scale")
+	}
+}
+
+func TestDatasetsCoverTable1(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 13 {
+		t.Fatalf("datasets = %d, want 13 (Table 1)", len(ds))
+	}
+	classes := map[string]int{}
+	for _, d := range ds {
+		classes[d.Class]++
+	}
+	if classes["web"] != 7 || classes["social"] != 2 || classes["road"] != 2 || classes["kmer"] != 2 {
+		t.Errorf("class counts = %v", classes)
+	}
+}
+
+func TestGraphMemoized(t *testing.T) {
+	a := Graph("asia_osm", Small)
+	b := Graph("asia_osm", Small)
+	if a != b {
+		t.Error("Graph not memoized")
+	}
+	ClearCache()
+	c := Graph("asia_osm", Small)
+	if a == c {
+		t.Error("ClearCache had no effect")
+	}
+	ClearCache()
+}
+
+func TestGraphClassesHaveExpectedShape(t *testing.T) {
+	road := Graph("asia_osm", Small)
+	if d := road.AvgDegree(); d < 1.8 || d > 2.6 {
+		t.Errorf("road avg degree = %.2f", d)
+	}
+	kmer := Graph("kmer_A2a", Small)
+	if d := kmer.AvgDegree(); d < 1.5 || d > 2.6 {
+		t.Errorf("kmer avg degree = %.2f", d)
+	}
+	web := Graph("indochina-2004", Small)
+	if d := web.AvgDegree(); d < 5 {
+		t.Errorf("web avg degree = %.2f", d)
+	}
+	ClearCache()
+}
+
+func TestUnknownGraphPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown dataset")
+		}
+	}()
+	Graph("no-such-graph", Small)
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig-nope", Config{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// smallCfg runs experiments on two tiny graphs so the full code path is
+// exercised in unit-test time.
+func smallCfg() Config {
+	return Config{Scale: Small, Reps: 1, Graphs: []string{"asia_osm", "com-Orkut"}}
+}
+
+func TestFigSwapSmall(t *testing.T) {
+	tables := FigSwap(smallCfg())
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 25 { // none + 4 CC + 4 PL + 16 H
+		t.Fatalf("rows = %d, want 25", len(tbl.Rows))
+	}
+	md := tbl.Markdown()
+	if !strings.Contains(md, "PL4") || !strings.Contains(md, "H(PL4,CC4)") {
+		t.Error("markdown missing expected methods")
+	}
+	ClearCache()
+}
+
+func TestFigProbeSmall(t *testing.T) {
+	tables := FigProbe(smallCfg())
+	tbl := tables[0]
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "quadratic-double" || tbl.Rows[0][1] != "1.000" {
+		t.Errorf("reference row = %v", tbl.Rows[0])
+	}
+	ClearCache()
+}
+
+func TestFigSwitchSmall(t *testing.T) {
+	tbl := FigSwitchDegree(smallCfg())[0]
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tbl.Rows))
+	}
+	ClearCache()
+}
+
+func TestFigDtypeSmall(t *testing.T) {
+	tbl := FigValueType(smallCfg())[0]
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "float" {
+		t.Errorf("first row = %v", tbl.Rows[0])
+	}
+	ClearCache()
+}
+
+func TestFigCoalescedSmall(t *testing.T) {
+	tbl := FigCoalesced(smallCfg())[0]
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	ClearCache()
+}
+
+func TestTabDatasetSmall(t *testing.T) {
+	tbl := TabDataset(smallCfg())[0]
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	ClearCache()
+}
+
+func TestFigCompareSmall(t *testing.T) {
+	tables := FigCompare(smallCfg())
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d, want 3", len(tables))
+	}
+	// Speedup table: 6 competitor methods.
+	if len(tables[1].Rows) != 6 {
+		t.Errorf("speedup rows = %d, want 6", len(tables[1].Rows))
+	}
+	// Modularity table: one row per graph + mean.
+	if len(tables[2].Rows) != 3 {
+		t.Errorf("modularity rows = %d, want 3", len(tables[2].Rows))
+	}
+	ClearCache()
+}
+
+func TestRunDispatch(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Graphs = []string{"asia_osm"}
+	for _, id := range []string{"fig-probe", "fig-dtype", "tab-dataset"} {
+		tables, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Errorf("Run(%s) returned no tables", id)
+		}
+	}
+	ClearCache()
+}
+
+func TestGeomeanAndMean(t *testing.T) {
+	if g := geomean([]float64{1, 4}); g != 2 {
+		t.Errorf("geomean = %g", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %g", g)
+	}
+	if m := mean([]float64{1, 3}); m != 2 {
+		t.Errorf("mean = %g", m)
+	}
+	if human(1500) != "1.5K" || human(2_500_000) != "2.50M" || human(3_000_000_000) != "3.00B" || human(7) != "7" {
+		t.Error("human formatting wrong")
+	}
+}
+
+func TestExtensionExperimentsSmall(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Graphs = []string{"asia_osm"}
+	for _, id := range []string{"abl-pruning", "abl-blockdim", "fig-variants", "tab-partition"} {
+		tables, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Errorf("Run(%s) produced empty tables", id)
+		}
+	}
+	ClearCache()
+}
+
+func TestExperimentIDsAllDispatch(t *testing.T) {
+	// Every advertised id must dispatch (tested with an unknown-graph probe:
+	// dispatch happens before dataset access errors can).
+	for _, id := range ExperimentIDs() {
+		cfg := Config{Scale: Small, Reps: 1, Graphs: []string{"asia_osm"}}
+		if id == "fig-swap" || id == "fig-compare" || id == "fig-switch" {
+			continue // covered by dedicated tests; too slow to repeat here
+		}
+		if _, err := Run(id, cfg); err != nil {
+			t.Errorf("Run(%s): %v", id, err)
+		}
+	}
+	ClearCache()
+}

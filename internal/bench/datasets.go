@@ -1,0 +1,157 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§5) on synthetic stand-ins for the
+// SuiteSparse dataset. Each experiment id matches the per-experiment index
+// in DESIGN.md; cmd/bench prints the resulting tables and bench_test.go
+// exposes them as Go benchmarks.
+package bench
+
+import (
+	"sync"
+
+	"nulpa/internal/gen"
+	"nulpa/internal/graph"
+)
+
+// Scale selects dataset sizes: Small keeps unit-test latency, Medium is the
+// scale EXPERIMENTS.md numbers are reported at, Large is for manual runs.
+type Scale int
+
+const (
+	// Small: thousands of arcs per graph.
+	Small Scale = iota
+	// Medium: hundreds of thousands of arcs per graph.
+	Medium
+	// Large: millions of arcs per graph.
+	Large
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// ParseScale converts a flag string to a Scale.
+func ParseScale(s string) (Scale, bool) {
+	switch s {
+	case "small":
+		return Small, true
+	case "medium":
+		return Medium, true
+	case "large":
+		return Large, true
+	}
+	return Small, false
+}
+
+// Dataset is one synthetic stand-in for a paper graph (Table 1).
+type Dataset struct {
+	// Name is the paper's graph name.
+	Name string
+	// Class is the paper's dataset group.
+	Class string
+	// Directed marks graphs the paper lists as directed (symmetrized
+	// before use, exactly as the paper does).
+	Directed bool
+	// Build generates the graph; use Graph for the memoized version.
+	Build func(s Scale) *graph.CSR
+}
+
+// factor scales vertex counts per Scale.
+func factor(s Scale) int {
+	switch s {
+	case Small:
+		return 1
+	case Medium:
+		return 8
+	default:
+		return 40
+	}
+}
+
+// datasets mirrors Table 1: one stand-in per paper graph, class-matched
+// (web = copy model, social = R-MAT, road = subdivided lattice, k-mer =
+// branching chains). Base sizes (Small) are chosen so relative |V| ordering
+// roughly follows the paper.
+var datasets = []Dataset{
+	{Name: "indochina-2004", Class: "web", Directed: true,
+		Build: func(s Scale) *graph.CSR { return gen.Web(gen.DefaultWeb(1500*factor(s), 10, 101)) }},
+	{Name: "uk-2002", Class: "web", Directed: true,
+		Build: func(s Scale) *graph.CSR { return gen.Web(gen.DefaultWeb(3700*factor(s), 4, 102)) }},
+	{Name: "arabic-2005", Class: "web", Directed: true,
+		Build: func(s Scale) *graph.CSR { return gen.Web(gen.DefaultWeb(3000*factor(s), 7, 103)) }},
+	{Name: "uk-2005", Class: "web", Directed: true,
+		Build: func(s Scale) *graph.CSR { return gen.Web(gen.DefaultWeb(5000*factor(s), 6, 104)) }},
+	{Name: "webbase-2001", Class: "web", Directed: true,
+		Build: func(s Scale) *graph.CSR { return gen.Web(gen.DefaultWeb(7500*factor(s), 2, 105)) }},
+	{Name: "it-2004", Class: "web", Directed: true,
+		Build: func(s Scale) *graph.CSR { return gen.Web(gen.DefaultWeb(5200*factor(s), 7, 106)) }},
+	{Name: "sk-2005", Class: "web", Directed: true,
+		Build: func(s Scale) *graph.CSR { return gen.Web(gen.DefaultWeb(6400*factor(s), 10, 107)) }},
+	{Name: "com-LiveJournal", Class: "social", Directed: false,
+		Build: func(s Scale) *graph.CSR {
+			g, _ := gen.Social(gen.DefaultSocial(1800*factor(s), 14, 108))
+			return g
+		}},
+	{Name: "com-Orkut", Class: "social", Directed: false,
+		Build: func(s Scale) *graph.CSR {
+			g, _ := gen.Social(gen.DefaultSocial(1200*factor(s), 50, 109))
+			return g
+		}},
+	{Name: "asia_osm", Class: "road", Directed: false,
+		Build: func(s Scale) *graph.CSR { return gen.Road(gen.DefaultRoad(3000*factor(s), 110)) }},
+	{Name: "europe_osm", Class: "road", Directed: false,
+		Build: func(s Scale) *graph.CSR { return gen.Road(gen.DefaultRoad(6300*factor(s), 111)) }},
+	{Name: "kmer_A2a", Class: "kmer", Directed: false,
+		Build: func(s Scale) *graph.CSR { return gen.KMer(gen.DefaultKMer(7500*factor(s), 112)) }},
+	{Name: "kmer_V1r", Class: "kmer", Directed: false,
+		Build: func(s Scale) *graph.CSR { return gen.KMer(gen.DefaultKMer(9400*factor(s), 113)) }},
+}
+
+// Datasets returns the Table 1 stand-ins.
+func Datasets() []Dataset { return datasets }
+
+// DatasetNames returns the paper graph names in table order.
+func DatasetNames() []string {
+	names := make([]string, len(datasets))
+	for i, d := range datasets {
+		names[i] = d.Name
+	}
+	return names
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*graph.CSR{}
+)
+
+// Graph returns the memoized graph for dataset name at the given scale.
+func Graph(name string, s Scale) *graph.CSR {
+	key := name + "/" + s.String()
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := cache[key]; ok {
+		return g
+	}
+	for _, d := range datasets {
+		if d.Name == name {
+			g := d.Build(s)
+			cache[key] = g
+			return g
+		}
+	}
+	panic("bench: unknown dataset " + name)
+}
+
+// ClearCache drops memoized graphs (tests use it to bound memory).
+func ClearCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cache = map[string]*graph.CSR{}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, a header row, and data
+// rows, printable as GitHub-flavoured markdown.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Markdown renders the table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(r, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// geomean returns the geometric mean of xs, ignoring non-positive entries.
+func geomean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// mean returns the arithmetic mean of xs.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// human formats a count with K/M/B suffixes like the paper's Table 1.
+func human(x int64) string {
+	switch {
+	case x >= 1_000_000_000:
+		return fmt.Sprintf("%.2fB", float64(x)/1e9)
+	case x >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(x)/1e6)
+	case x >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(x)/1e3)
+	default:
+		return fmt.Sprintf("%d", x)
+	}
+}

@@ -1,0 +1,111 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nulpa/internal/gen"
+	"nulpa/internal/graph"
+	"nulpa/internal/quality"
+	"nulpa/internal/simt"
+)
+
+func TestComponentsMatchesBFSOracle(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"kmer":  gen.KMer(gen.DefaultKMer(3000, 5)),
+		"road":  gen.Road(gen.DefaultRoad(2000, 6)),
+		"pairs": gen.MatchedPairs(200),
+		"star":  gen.Star(100),
+		"cycle": gen.Cycle(64),
+	}
+	for name, g := range graphs {
+		res := Components(g, DefaultOptions())
+		oracle, count := graph.ConnectedComponents(g)
+		if res.Components != count {
+			t.Errorf("%s: %d components, oracle %d", name, res.Components, count)
+			continue
+		}
+		if nmi := quality.NMI(res.Labels, oracle); nmi < 1-1e-9 {
+			t.Errorf("%s: partition differs from oracle (NMI %.3f)", name, nmi)
+		}
+	}
+}
+
+func TestRepresentativeIsMinimum(t *testing.T) {
+	g := gen.KMer(gen.DefaultKMer(2000, 9))
+	res := Components(g, DefaultOptions())
+	// Every component's label must be the minimum vertex id it contains,
+	// and that vertex must carry its own id.
+	for v, l := range res.Labels {
+		if l > uint32(v) {
+			t.Fatalf("vertex %d has representative %d > own id", v, l)
+		}
+		if res.Labels[l] != l {
+			t.Fatalf("representative %d does not point to itself", l)
+		}
+	}
+}
+
+func TestComponentsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		g := gen.ErdosRenyi(100+int(seed%100), 120, seed)
+		res := Components(g, DefaultOptions())
+		oracle, count := graph.ConnectedComponents(g)
+		return res.Components == count && quality.NMI(res.Labels, oracle) > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := gen.MatchedPairs(0)
+	res := Components(empty, DefaultOptions())
+	if res.Components != 0 || len(res.Labels) != 0 {
+		t.Errorf("empty: %+v", res)
+	}
+	single, _ := graph.FromEdges(nil, 1, graph.DefaultBuildOptions())
+	res = Components(single, DefaultOptions())
+	if res.Components != 1 || res.Labels[0] != 0 {
+		t.Errorf("single: %+v", res)
+	}
+}
+
+func TestLogarithmicRounds(t *testing.T) {
+	// A long path is the adversarial case for label propagation without
+	// shortcutting (diameter rounds); with pointer jumping it must finish
+	// in far fewer rounds than the 10000-vertex diameter.
+	var edges []graph.Edge
+	for v := 0; v+1 < 10000; v++ {
+		edges = append(edges, graph.Edge{U: graph.Vertex(v), V: graph.Vertex(v + 1), W: 1})
+	}
+	g, err := graph.FromEdges(edges, 10000, graph.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Components(g, DefaultOptions())
+	if res.Components != 1 {
+		t.Fatalf("path split into %d components", res.Components)
+	}
+	if res.Rounds > 30 {
+		t.Errorf("took %d rounds on a path; shortcutting should make it logarithmic", res.Rounds)
+	}
+}
+
+func TestSingleSMDeterministic(t *testing.T) {
+	g := gen.KMer(gen.DefaultKMer(1500, 3))
+	run := func() []uint32 {
+		opt := DefaultOptions()
+		opt.Device = simt.NewDevice(1)
+		return Components(g, opt).Labels
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic on one SM")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package clitest builds the repository's command-line binaries and runs
+// them end to end: generate a graph, detect communities on it with several
+// algorithms, regenerate an experiment table — the full user workflow.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "nulpa-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"nulpa", "bench", "graphgen"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "nulpa/cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic("building " + tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func mustRun(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	out, err := run(t, tool, args...)
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return out
+}
+
+func TestNulpaOnGeneratedGraph(t *testing.T) {
+	out := mustRun(t, "nulpa", "-gen", "planted", "-n", "2000", "-deg", "10")
+	for _, want := range []string{"graph:", "algo: nulpa", "iterations:", "communities="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNulpaAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"flpa", "plp", "gvelpa", "gunrock", "louvain", "slpa", "copra", "labelrank"} {
+		out := mustRun(t, "nulpa", "-gen", "planted", "-n", "500", "-deg", "10", "-algo", algo)
+		if !strings.Contains(out, "algo: "+algo) {
+			t.Errorf("%s: unexpected output:\n%s", algo, out)
+		}
+	}
+}
+
+func TestNulpaDirectBackendAndFlags(t *testing.T) {
+	out := mustRun(t, "nulpa", "-gen", "road", "-n", "3000",
+		"-backend", "direct", "-pickless", "2", "-crosscheck", "3", "-probing", "double", "-f64")
+	if !strings.Contains(out, "converged: true") {
+		t.Errorf("run did not converge:\n%s", out)
+	}
+}
+
+func TestNulpaOOMBudget(t *testing.T) {
+	out, err := run(t, "nulpa", "-gen", "er", "-n", "5000", "-deg", "8", "-membudget", "1024")
+	if err == nil {
+		t.Fatalf("tiny memory budget did not fail:\n%s", out)
+	}
+	if !strings.Contains(out, "does not fit on device") {
+		t.Errorf("unexpected OOM message:\n%s", out)
+	}
+}
+
+func TestNulpaBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-gen", "nope"},
+		{},
+		{"-gen", "er", "-algo", "nope"},
+		{"-gen", "er", "-probing", "nope"},
+		{"-graph", "/does/not/exist.bin"},
+	}
+	for _, args := range cases {
+		if out, err := run(t, "nulpa", args...); err == nil {
+			t.Errorf("nulpa %v succeeded unexpectedly:\n%s", args, out)
+		}
+	}
+}
+
+func TestGraphgenFormatsAndReload(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"g.txt", "g.bin", "g.mtx", "g.graph"} {
+		path := filepath.Join(dir, name)
+		out := mustRun(t, "graphgen", "-type", "road", "-n", "1000", "-o", path)
+		if !strings.Contains(out, "wrote "+path) {
+			t.Errorf("graphgen output: %s", out)
+		}
+		// The generated file must load back through the main tool.
+		out = mustRun(t, "nulpa", "-graph", path, "-algo", "flpa")
+		if !strings.Contains(out, "communities=") {
+			t.Errorf("reload of %s failed:\n%s", name, out)
+		}
+	}
+}
+
+func TestWriteLabels(t *testing.T) {
+	dir := t.TempDir()
+	labels := filepath.Join(dir, "labels.txt")
+	mustRun(t, "nulpa", "-gen", "planted", "-n", "300", "-deg", "10", "-write-labels", labels)
+	data, err := os.ReadFile(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 300 {
+		t.Fatalf("labels file has %d lines, want 300", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "0 ") {
+		t.Errorf("first line = %q", lines[0])
+	}
+}
+
+func TestBenchSingleExperiment(t *testing.T) {
+	out := mustRun(t, "bench", "-experiment", "tab-dataset", "-scale", "small", "-graphs", "asia_osm")
+	if !strings.Contains(out, "tab-dataset") || !strings.Contains(out, "asia_osm") {
+		t.Errorf("bench output:\n%s", out)
+	}
+}
+
+func TestBenchBadFlags(t *testing.T) {
+	if out, err := run(t, "bench", "-scale", "nope"); err == nil {
+		t.Errorf("bad scale accepted:\n%s", out)
+	}
+	if out, err := run(t, "bench", "-experiment", "fig-nope"); err == nil {
+		t.Errorf("bad experiment accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,132 @@
+// Package flpa reimplements the Fast Label Propagation Algorithm of Traag
+// and Šubelj (the paper's sequential baseline, igraph's
+// IGRAPH_LPA_FAST variant): a queue-based LPA that processes only vertices
+// whose neighbourhood recently changed, with no random vertex-order
+// shuffling, and converges when the queue drains.
+package flpa
+
+import (
+	"math/rand"
+	"slices"
+	"time"
+
+	"nulpa/internal/graph"
+)
+
+// Options configure an FLPA run.
+type Options struct {
+	// Seed drives the random choice among equally dominant labels — the
+	// one place FLPA uses randomness.
+	Seed int64
+	// MaxSteps bounds queue pops as a safety net; 0 means no bound (FLPA
+	// terminates when the queue empties, which it always does because
+	// vertices re-enter only on neighbourhood change).
+	MaxSteps int64
+}
+
+// DefaultOptions returns the reference configuration.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// Result reports a completed FLPA run.
+type Result struct {
+	Labels   []uint32
+	Steps    int64 // vertices processed (queue pops)
+	Duration time.Duration
+}
+
+// Detect runs FLPA on g.
+func Detect(g *graph.CSR, opt Options) *Result {
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	inQueue := make([]bool, n)
+	queue := make([]graph.Vertex, 0, n)
+	for i := 0; i < n; i++ {
+		if g.Degree(graph.Vertex(i)) > 0 {
+			queue = append(queue, graph.Vertex(i))
+			inQueue[i] = true
+		}
+	}
+	// weight accumulator reused across vertices; sparse-reset via touched.
+	acc := make(map[uint32]float64)
+	var dominant []uint32
+
+	start := time.Now()
+	var steps int64
+	head := 0
+	for head < len(queue) {
+		if opt.MaxSteps > 0 && steps >= opt.MaxSteps {
+			break
+		}
+		u := queue[head]
+		head++
+		inQueue[u] = false
+		steps++
+		// Compact the consumed prefix occasionally to bound memory.
+		if head > n && head*2 > len(queue) {
+			queue = append(queue[:0], queue[head:]...)
+			head = 0
+		}
+
+		ts, ws := g.Neighbors(u)
+		clear(acc)
+		for k, v := range ts {
+			if v == u {
+				continue
+			}
+			acc[labels[v]] += float64(ws[k])
+		}
+		if len(acc) == 0 {
+			continue
+		}
+		// Find the dominant labels and pick one uniformly at random. The
+		// dominant set is sorted so runs are reproducible for a seed
+		// despite Go's randomized map iteration order.
+		best := -1.0
+		for _, w := range acc {
+			if w > best {
+				best = w
+			}
+		}
+		dominant = dominant[:0]
+		for c, w := range acc {
+			if w == best {
+				dominant = append(dominant, c)
+			}
+		}
+		slices.Sort(dominant)
+		newLabel := dominant[0]
+		if len(dominant) > 1 {
+			// Keep the current label when dominant (igraph's stability rule),
+			// else pick at random.
+			keep := false
+			for _, c := range dominant {
+				if c == labels[u] {
+					keep = true
+					break
+				}
+			}
+			if keep {
+				newLabel = labels[u]
+			} else {
+				newLabel = dominant[rng.Intn(len(dominant))]
+			}
+		}
+		if newLabel == labels[u] {
+			continue
+		}
+		labels[u] = newLabel
+		// Re-enqueue neighbours not sharing the new community.
+		for _, v := range ts {
+			if v == u || labels[v] == newLabel || inQueue[v] {
+				continue
+			}
+			queue = append(queue, v)
+			inQueue[v] = true
+		}
+	}
+	return &Result{Labels: labels, Steps: steps, Duration: time.Since(start)}
+}

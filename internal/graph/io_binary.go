@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary graph format: a fast container for generated datasets so benchmark
+// runs don't pay text-parsing time.
+//
+//	magic   [4]byte  "NLPG"
+//	version uint32   1
+//	n       uint64   vertex count
+//	m       uint64   arc count
+//	offsets [n+1]int64
+//	targets [m]uint32
+//	weights [m]float32
+//
+// All integers little-endian.
+
+var binaryMagic = [4]byte{'N', 'L', 'P', 'G'}
+
+const binaryVersion = 1
+
+// WriteBinary serializes g in the repository's binary graph format.
+func WriteBinary(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	n := uint64(g.NumVertices())
+	m := uint64(g.NumArcs())
+	for _, v := range []uint64{binaryVersion, n, m} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Targets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: binary: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: binary: bad magic %q", magic[:])
+	}
+	var version, n, m uint64
+	for _, p := range []*uint64{&version, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: binary: reading header: %w", err)
+		}
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("graph: binary: unsupported version %d", version)
+	}
+	if n > uint64(MaxVertices) || m > uint64(MaxVertices)*64 {
+		return nil, fmt.Errorf("graph: binary: implausible sizes n=%d m=%d (MaxVertices=%d)", n, m, MaxVertices)
+	}
+	// Arrays are read in bounded chunks so a corrupt header cannot force a
+	// huge allocation: memory grows only as stream bytes actually arrive.
+	g := &CSR{}
+	var err error
+	if g.Offsets, err = readChunked[int64](br, n+1); err != nil {
+		return nil, fmt.Errorf("graph: binary: reading offsets: %w", err)
+	}
+	if g.Targets, err = readChunked[Vertex](br, m); err != nil {
+		return nil, fmt.Errorf("graph: binary: reading targets: %w", err)
+	}
+	if g.Weights, err = readChunked[float32](br, m); err != nil {
+		return nil, fmt.Errorf("graph: binary: reading weights: %w", err)
+	}
+	// Structural validation: the offsets must describe exactly the arrays
+	// read, and every target must be a valid vertex. Without this a corrupt
+	// stream would produce a graph that panics on first use.
+	if g.Offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: binary: offsets[0] = %d, want 0", g.Offsets[0])
+	}
+	for i := 0; i < int(n); i++ {
+		if g.Offsets[i+1] < g.Offsets[i] {
+			return nil, fmt.Errorf("graph: binary: offsets not monotone at %d", i)
+		}
+	}
+	if g.Offsets[n] != int64(m) {
+		return nil, fmt.Errorf("graph: binary: offsets end at %d, want %d arcs", g.Offsets[n], m)
+	}
+	for _, t := range g.Targets {
+		if uint64(t) >= n {
+			return nil, fmt.Errorf("graph: binary: target %d out of range [0,%d)", t, n)
+		}
+	}
+	g.RecomputeTotalWeight()
+	return g, nil
+}
+
+// readChunked reads exactly count little-endian values of type T, growing
+// the result incrementally (1 Mi elements at a time) so truncated or
+// hostile streams fail before any large allocation happens.
+func readChunked[T int64 | Vertex | float32](r io.Reader, count uint64) ([]T, error) {
+	const chunk = 1 << 20
+	first := count
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]T, 0, first)
+	for uint64(len(out)) < count {
+		k := count - uint64(len(out))
+		if k > chunk {
+			k = chunk
+		}
+		buf := make([]T, k)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
+// WriteBinaryFile writes g to path in binary format.
+func WriteBinaryFile(path string, g *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile loads a binary-format graph from path.
+func ReadBinaryFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// ReadFile loads a graph from path, dispatching on the file extension:
+// ".mtx" → Matrix Market, ".bin"/".nlpg" → binary, ".graph"/".metis" →
+// METIS, anything else → edge list.
+func ReadFile(path string) (*CSR, error) {
+	switch {
+	case hasSuffix(path, ".mtx"):
+		return ReadMatrixMarketFile(path)
+	case hasSuffix(path, ".bin"), hasSuffix(path, ".nlpg"):
+		return ReadBinaryFile(path)
+	case hasSuffix(path, ".graph"), hasSuffix(path, ".metis"):
+		return ReadMETISFile(path)
+	default:
+		return ReadEdgeListFile(path, DefaultBuildOptions())
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list: one "u v" or "u v w"
+// per line. Lines starting with '#' or '%' are comments. Vertex ids are
+// non-negative integers; the graph is sized by the largest id seen (or n if
+// larger). The result honours opt (symmetrization, dedup, self loops).
+func ReadEdgeList(r io.Reader, n int, opt BuildOptions) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	b := NewBuilder(1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %d: want 2 or 3 fields, got %d", line, len(fields))
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: bad source %q: %v", line, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: bad target %q: %v", line, fields[1], err)
+		}
+		w := float32(1)
+		if len(fields) >= 3 {
+			wf, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: edge list line %d: bad weight %q: %v", line, fields[2], err)
+			}
+			w = float32(wf)
+		}
+		b.AddEdge(Vertex(u), Vertex(v), w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build(n, opt)
+}
+
+// ReadEdgeListFile loads an edge list from path; see ReadEdgeList.
+func ReadEdgeListFile(path string, opt BuildOptions) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f, 0, opt)
+}
+
+// WriteEdgeList writes g as "u v w" lines, emitting each undirected edge once
+// (u <= v).
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		ts, ws := g.Neighbors(Vertex(u))
+		for k, v := range ts {
+			if Vertex(u) > v {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, v, ws[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes g to path; see WriteEdgeList.
+func WriteEdgeListFile(path string, g *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,304 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+0 1
+1 2 2.5
+
+2 0 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in), 0, DefaultBuildOptions())
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumArcs() != 6 {
+		t.Fatalf("got n=%d arcs=%d, want 3/6", g.NumVertices(), g.NumArcs())
+	}
+	if w, _ := g.EdgeWeight(1, 2); w != 2.5 {
+		t.Errorf("EdgeWeight(1,2) = %g, want 2.5", w)
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 1 {
+		t.Errorf("EdgeWeight(0,1) = %g, want 1 (default)", w)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"one field", "0\n"},
+		{"bad source", "x 1\n"},
+		{"bad target", "1 y\n"},
+		{"bad weight", "0 1 nope\n"},
+		{"negative id", "-1 2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.in), 0, DefaultBuildOptions()); err == nil {
+				t.Errorf("accepted malformed input %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(t, 40, 120, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	back, err := ReadEdgeList(&buf, g.NumVertices(), DefaultBuildOptions())
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	assertEqualGraphs(t, g, back)
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% SuiteSparse-style comment
+3 3 3
+2 1
+3 1
+3 2
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMatrixMarket: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumArcs() != 6 {
+		t.Fatalf("got n=%d arcs=%d, want 3/6", g.NumVertices(), g.NumArcs())
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 1 {
+		t.Errorf("pattern weight = %g, want 1", w)
+	}
+}
+
+func TestReadMatrixMarketReal(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 1
+1 2 3.5
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMatrixMarket: %v", err)
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 3.5 {
+		t.Errorf("EdgeWeight = %g, want 3.5", w)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad magic", "%%NotMM matrix coordinate real general\n1 1 0\n"},
+		{"dense", "%%MatrixMarket matrix array real general\n1 1\n"},
+		{"bad field", "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"},
+		{"bad symmetry", "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"},
+		{"missing size", "%%MatrixMarket matrix coordinate real general\n"},
+		{"zero index", "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n"},
+		{"count mismatch", "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 2 1.0\n"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 xyz\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadMatrixMarket(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := randomGraph(t, 30, 90, 11)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatalf("WriteMatrixMarket: %v", err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatalf("ReadMatrixMarket: %v", err)
+	}
+	assertEqualGraphs(t, g, back)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(t, 100, 400, 5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	assertEqualGraphs(t, g, back)
+	if back.TotalWeight() != g.TotalWeight() {
+		t.Errorf("TotalWeight %g != %g", back.TotalWeight(), g.TotalWeight())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph at all......"))); err == nil {
+		t.Error("ReadBinary accepted garbage")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("NL"))); err == nil {
+		t.Error("ReadBinary accepted truncated magic")
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	g := randomGraph(t, 20, 60, 9)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("ReadBinary accepted truncated stream")
+	}
+}
+
+func TestReadFileDispatch(t *testing.T) {
+	g := randomGraph(t, 15, 40, 2)
+	dir := t.TempDir()
+
+	binPath := filepath.Join(dir, "g.bin")
+	if err := WriteBinaryFile(binPath, g); err != nil {
+		t.Fatalf("WriteBinaryFile: %v", err)
+	}
+	elPath := filepath.Join(dir, "g.txt")
+	if err := WriteEdgeListFile(elPath, g); err != nil {
+		t.Fatalf("WriteEdgeListFile: %v", err)
+	}
+	for _, p := range []string{binPath, elPath} {
+		back, err := ReadFile(p)
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", p, err)
+		}
+		assertEqualGraphs(t, g, back)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("ReadFile accepted missing file")
+	}
+}
+
+// randomGraph builds a connected-ish random undirected graph with integer
+// weights for round-trip testing.
+func randomGraph(t *testing.T, n, m int, seed int64) *CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m+n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{Vertex(rng.Intn(i)), Vertex(i), float32(rng.Intn(9) + 1)})
+	}
+	for i := 0; i < m; i++ {
+		u, v := Vertex(rng.Intn(n)), Vertex(rng.Intn(n))
+		edges = append(edges, Edge{u, v, float32(rng.Intn(9) + 1)})
+	}
+	g, err := FromEdges(edges, n, DefaultBuildOptions())
+	if err != nil {
+		t.Fatalf("randomGraph: %v", err)
+	}
+	return g
+}
+
+func assertEqualGraphs(t *testing.T, a, b *CSR) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() {
+		t.Fatalf("vertex count %d != %d", a.NumVertices(), b.NumVertices())
+	}
+	if a.NumArcs() != b.NumArcs() {
+		t.Fatalf("arc count %d != %d", a.NumArcs(), b.NumArcs())
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		ta, wa := a.Neighbors(Vertex(u))
+		tb, wb := b.Neighbors(Vertex(u))
+		if len(ta) != len(tb) {
+			t.Fatalf("vertex %d degree %d != %d", u, len(ta), len(tb))
+		}
+		for k := range ta {
+			if ta[k] != tb[k] {
+				t.Fatalf("vertex %d: neighbor %d != %d", u, ta[k], tb[k])
+			}
+			if wa[k] != wb[k] {
+				t.Fatalf("vertex %d: weight %g != %g", u, wa[k], wb[k])
+			}
+		}
+	}
+}
+
+func TestMETISRoundTrip(t *testing.T) {
+	g := randomGraph(t, 30, 90, 21)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatalf("WriteMETIS: %v", err)
+	}
+	back, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatalf("ReadMETIS: %v", err)
+	}
+	assertEqualGraphs(t, g, back)
+}
+
+func TestReadMETISUnweighted(t *testing.T) {
+	in := `% triangle plus pendant
+4 4
+2 3
+1 3
+1 2 4
+3
+`
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMETIS: %v", err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 1 {
+		t.Errorf("weight = %g", w)
+	}
+	if !g.HasEdge(2, 3) || !g.HasEdge(3, 2) {
+		t.Error("pendant edge missing")
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"bad fmt", "2 1 011\n2\n1\n"},
+		{"neighbour zero", "2 1\n0\n1\n"},
+		{"neighbour range", "2 1\n5\n1\n"},
+		{"too few lines", "3 2\n2\n1\n"},
+		{"too many lines", "1 0\n\n\n2\n"},
+		{"edge count mismatch", "3 5\n2\n1 3\n2\n"},
+		{"odd weighted fields", "2 1 1\n2 1 3\n1 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadMETIS(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestWriteMETISRejectsSelfLoops(t *testing.T) {
+	opts := BuildOptions{Symmetrize: true, DropSelfLoops: false, SumDuplicates: true}
+	g, err := FromEdges([]Edge{{0, 0, 1}, {0, 1, 1}}, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err == nil {
+		t.Error("self loop accepted")
+	}
+}

@@ -1,0 +1,180 @@
+// Package gvelpa reimplements GVE-LPA (Sahu 2023), the multicore CPU LPA
+// that ν-LPA builds on: asynchronous label propagation with per-thread
+// collision-free hashtables — a compact keys list plus a full-size |V|
+// values array per thread, kept well separated in memory — vertex pruning,
+// a per-iteration tolerance of 0.05, and at most 20 iterations. Its
+// O(T·N + M) space is exactly the reason the paper had to design the
+// per-vertex O(M) hashtable for the GPU.
+package gvelpa
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nulpa/internal/graph"
+)
+
+// Options configure a GVE-LPA run.
+type Options struct {
+	// MaxIterations caps iterations (paper: 20).
+	MaxIterations int
+	// Tolerance is the per-iteration convergence threshold τ (paper: 0.05).
+	Tolerance float64
+	// Workers bounds parallelism; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the GVE-LPA published configuration.
+func DefaultOptions() Options {
+	return Options{MaxIterations: 20, Tolerance: 0.05}
+}
+
+// Result reports a completed run.
+type Result struct {
+	Labels     []uint32
+	Iterations int
+	Converged  bool
+	Duration   time.Duration
+	// ThreadTableBytes is the memory consumed by per-thread hashtables —
+	// the O(T·N) term the GPU design eliminates.
+	ThreadTableBytes int64
+}
+
+// threadTable is the per-thread collision-free hashtable: values is indexed
+// directly by label (size |V|), keys records which labels are occupied so
+// clearing is O(degree) not O(|V|).
+type threadTable struct {
+	keys   []uint32
+	values []float64
+}
+
+func newThreadTable(n int) *threadTable {
+	return &threadTable{keys: make([]uint32, 0, 64), values: make([]float64, n)}
+}
+
+func (t *threadTable) accumulate(label uint32, w float64) {
+	if t.values[label] == 0 {
+		t.keys = append(t.keys, label)
+	}
+	t.values[label] += w
+}
+
+// best returns the first label with the highest weight, scanning the keys
+// list from a per-vertex rotation point. The keys list is in adjacency
+// (ascending id) order, so a plain front-to-back scan would always break
+// ties toward the smallest neighbouring label — a globally consistent bias
+// that lets one label cascade across community boundaries in a single
+// asynchronous sweep. Rotating the start by the vertex id de-biases the
+// tie-break the same way ν-LPA's hash-slot scan order does.
+func (t *threadTable) best(v graph.Vertex) (uint32, bool) {
+	n := len(t.keys)
+	if n == 0 {
+		return 0, false
+	}
+	start := int(v) % n
+	best, bestW := t.keys[start], t.values[t.keys[start]]
+	for i := 1; i < n; i++ {
+		k := t.keys[(start+i)%n]
+		w := t.values[k]
+		if w > bestW {
+			best, bestW = k, w
+		}
+	}
+	return best, true
+}
+
+func (t *threadTable) clear() {
+	for _, k := range t.keys {
+		t.values[k] = 0
+	}
+	t.keys = t.keys[:0]
+}
+
+// Detect runs GVE-LPA on g.
+func Detect(g *graph.CSR, opt Options) *Result {
+	n := g.NumVertices()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 20
+	}
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	processed := make([]uint32, n)
+	tables := make([]*threadTable, workers)
+	for i := range tables {
+		tables[i] = newThreadTable(n)
+	}
+
+	res := &Result{ThreadTableBytes: int64(workers) * int64(n) * 8}
+	start := time.Now()
+	const chunk = 2048
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		var changed int64
+		var cursor int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				tbl := tables[w]
+				var local int64
+				for {
+					c := atomic.AddInt64(&cursor, chunk) - chunk
+					if c >= int64(n) {
+						break
+					}
+					hi := c + chunk
+					if hi > int64(n) {
+						hi = int64(n)
+					}
+					for v := c; v < hi; v++ {
+						if atomic.LoadUint32(&processed[v]) == 1 {
+							continue
+						}
+						u := graph.Vertex(v)
+						ts, ws := g.Neighbors(u)
+						if len(ts) == 0 {
+							continue
+						}
+						atomic.StoreUint32(&processed[v], 1)
+						tbl.clear()
+						for k, j := range ts {
+							if j == u {
+								continue
+							}
+							tbl.accumulate(atomic.LoadUint32(&labels[j]), float64(ws[k]))
+						}
+						best, ok := tbl.best(u)
+						if !ok || best == labels[v] {
+							continue
+						}
+						atomic.StoreUint32(&labels[v], best)
+						local++
+						for _, j := range ts {
+							atomic.StoreUint32(&processed[j], 0)
+						}
+					}
+				}
+				if local != 0 {
+					atomic.AddInt64(&changed, local)
+				}
+			}(w)
+		}
+		wg.Wait()
+		res.Iterations = iter + 1
+		if float64(changed) < opt.Tolerance*float64(n) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	res.Labels = labels
+	return res
+}

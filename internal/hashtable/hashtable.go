@@ -1,0 +1,414 @@
+// Package hashtable implements the paper's per-vertex open-addressing
+// hashtable (§4.2, Algorithm 2, Figure 2).
+//
+// All per-vertex tables live in two flat "global memory" buffers — a keys
+// buffer and a values buffer, each 2·|E| words — and the table of vertex i is
+// the window starting at slot 2·O_i (twice its CSR offset) with capacity
+// p1 = nextPow2(D_i) − 1 slots, where D_i is the vertex degree and
+// nextPow2(x) is the smallest power of two strictly greater than x. Because
+// p1 ≥ D_i, a table always has room for every distinct neighbouring label,
+// and because 2^k ≤ 2·D_i the window always fits in the reserved 2·D_i slots.
+//
+// Collisions are resolved by open addressing with four strategies: linear
+// probing, quadratic probing (step doubling), double hashing (fixed step
+// k mod p2), and the paper's hybrid quadratic-double (δi ← 2·δi + k mod p2).
+// The secondary modulus p2 is the next Mersenne number 2^(k+1)−1: the paper
+// writes p2 = nextPow2(p1)−1, which evaluates back to p1 for Mersenne p1, so
+// we take the intended "next" one — it is strictly larger than p1 and always
+// coprime with it (gcd(2^a−1, 2^b−1) = 2^gcd(a,b)−1 = 1 for consecutive a,b).
+//
+// Values are aggregated label weights stored as either float32 or float64
+// bit patterns (the paper's Figure 5 experiment), so the shared-table path
+// can use compare-and-swap atomics without unsafe tricks.
+package hashtable
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"nulpa/internal/simt"
+)
+
+// EmptyKey marks an unoccupied slot (φ in Algorithm 2). Vertex ids are
+// always < 2^32−1 in practice, so the sentinel never collides with a label.
+const EmptyKey = ^uint32(0)
+
+// DefaultMaxRetries is the probe budget per accumulate before the linear
+// fallback (or failure) triggers; generous relative to typical load factors.
+const DefaultMaxRetries = 64
+
+// Probing selects the collision resolution strategy (§4.2).
+type Probing int
+
+const (
+	// Linear probing: fixed step of 1. Cache friendly, heavy clustering.
+	Linear Probing = iota
+	// Quadratic probing: step starts at 1 and doubles per collision.
+	Quadratic
+	// Double hashing: fixed per-key step k mod p2.
+	Double
+	// QuadraticDouble is the paper's hybrid: δi ← 2·δi + (k mod p2).
+	QuadraticDouble
+)
+
+// String names the probing strategy as in the paper's figures.
+func (p Probing) String() string {
+	switch p {
+	case Linear:
+		return "linear"
+	case Quadratic:
+		return "quadratic"
+	case Double:
+		return "double"
+	case QuadraticDouble:
+		return "quadratic-double"
+	default:
+		return fmt.Sprintf("probing(%d)", int(p))
+	}
+}
+
+// ValueKind selects the width of the aggregated-weight values (Figure 5).
+type ValueKind int
+
+const (
+	// Float32 stores weights as 32-bit floats (the paper's final choice).
+	Float32 ValueKind = iota
+	// Float64 stores weights as 64-bit floats (the GVE-LPA default).
+	Float64
+)
+
+// String names the value kind as in the paper's figures.
+func (k ValueKind) String() string {
+	if k == Float64 {
+		return "double"
+	}
+	return "float"
+}
+
+// Stats counts hashtable activity across all tables of an arena. Counters
+// are updated atomically; attach with Arena.Stats. A nil Stats disables
+// counting.
+type Stats struct {
+	Accumulates atomic.Int64 // accumulate calls
+	Probes      atomic.Int64 // slots inspected, including the first
+	Collisions  atomic.Int64 // probes beyond the first
+	Fallbacks   atomic.Int64 // accumulates that exhausted MaxRetries and fell back to linear scan
+	Failures    atomic.Int64 // accumulates that found no slot at all
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.Accumulates.Store(0)
+	s.Probes.Store(0)
+	s.Collisions.Store(0)
+	s.Fallbacks.Store(0)
+	s.Failures.Store(0)
+}
+
+// Arena is the backing storage for every per-vertex table: the bufK / bufV
+// buffers of Algorithm 1, each sized 2·|E| slots.
+type Arena struct {
+	Kind ValueKind
+	Keys []uint32
+	V32  []uint32 // float32 bit patterns when Kind == Float32
+	V64  []uint64 // float64 bit patterns when Kind == Float64
+
+	// MaxRetries bounds probing per accumulate; 0 selects
+	// DefaultMaxRetries.
+	MaxRetries int
+	// LinearFallback, when true (the default from NewArena), retries a
+	// full-circle linear probe after MaxRetries misses, which always
+	// succeeds because capacity ≥ degree. Disable to surface Algorithm 2's
+	// "failed" status.
+	LinearFallback bool
+	// Stats, when non-nil, receives probe accounting.
+	Stats *Stats
+}
+
+// NewArena allocates backing storage for `slots` hashtable slots (2·|E| for
+// a full graph) with the given value width. Keys start empty and values 0.
+func NewArena(kind ValueKind, slots int64) *Arena {
+	a := &Arena{Kind: kind, MaxRetries: DefaultMaxRetries, LinearFallback: true}
+	a.Keys = make([]uint32, slots)
+	for i := range a.Keys {
+		a.Keys[i] = EmptyKey
+	}
+	if kind == Float32 {
+		a.V32 = make([]uint32, slots)
+	} else {
+		a.V64 = make([]uint64, slots)
+	}
+	return a
+}
+
+// Bytes returns the simulated device-memory footprint of the arena —
+// the quantity the paper's Figure 5 reduces by choosing float32.
+func (a *Arena) Bytes() int64 {
+	b := int64(len(a.Keys)) * 4
+	if a.Kind == Float32 {
+		b += int64(len(a.V32)) * 4
+	} else {
+		b += int64(len(a.V64)) * 8
+	}
+	return b
+}
+
+// Table is the hashtable view of one vertex: a window into the arena.
+// Obtain one with Arena.TableFor; copying is cheap.
+type Table struct {
+	a       *Arena
+	base    int64  // first slot of the window (2·O_i)
+	p1      uint32 // capacity; Mersenne 2^k − 1
+	p2      uint32 // secondary modulus; Mersenne 2^(k+1) − 1
+	probing Probing
+}
+
+// NextPow2 returns the smallest power of two strictly greater than x.
+func NextPow2(x uint32) uint32 {
+	if x >= 1<<31 {
+		panic("hashtable: NextPow2 overflow")
+	}
+	return 1 << bits.Len32(x)
+}
+
+// CapacityFor returns p1, the table capacity used for a vertex of the given
+// degree: nextPow2(degree) − 1.
+func CapacityFor(degree int) uint32 {
+	return NextPow2(uint32(degree)) - 1
+}
+
+// TableFor returns the table of a vertex whose CSR offset is offset and
+// whose degree is degree, using the given probing strategy. The window
+// occupies slots [2·offset, 2·offset+p1).
+func (a *Arena) TableFor(offset int64, degree int, probing Probing) Table {
+	p1 := CapacityFor(degree)
+	p2 := 2*(p1+1) - 1
+	return Table{a: a, base: 2 * offset, p1: p1, p2: p2, probing: probing}
+}
+
+// Capacity returns p1, the number of usable slots.
+func (t Table) Capacity() int { return int(t.p1) }
+
+// SecondaryModulus returns p2 (exported for tests and diagnostics).
+func (t Table) SecondaryModulus() uint32 { return t.p2 }
+
+// Clear empties slots [lane, capacity) in steps of stride — the parallel
+// hashtableClear of Algorithm 1. Use Clear(0, 1) from a single thread.
+func (t Table) Clear(lane, stride int) {
+	for s := lane; s < int(t.p1); s += stride {
+		t.a.Keys[t.base+int64(s)] = EmptyKey
+		if t.a.Kind == Float32 {
+			t.a.V32[t.base+int64(s)] = 0
+		} else {
+			t.a.V64[t.base+int64(s)] = 0
+		}
+	}
+}
+
+// step returns the next probe increment given the current increment and the
+// key's secondary hash.
+func (t Table) step(di uint64, k uint32) uint64 {
+	switch t.probing {
+	case Linear:
+		return 1
+	case Quadratic:
+		return 2 * di
+	case Double:
+		d := uint64(k % t.p2)
+		if d == 0 {
+			d = 1
+		}
+		return d
+	default: // QuadraticDouble, Algorithm 2 line "δi ← 2·δi + (k mod p2)"
+		return 2*di + uint64(k%t.p2)
+	}
+}
+
+// initialStep returns δi before the first collision.
+func (t Table) initialStep(k uint32) uint64 {
+	if t.probing == Double {
+		d := uint64(k % t.p2)
+		if d == 0 {
+			d = 1
+		}
+		return d
+	}
+	return 1
+}
+
+// Accumulate adds weight v to key k's slot, inserting the key if absent —
+// Algorithm 2. shared selects the atomic path (block-per-vertex kernels,
+// where many lanes update one table) versus the plain path (thread-per-
+// vertex kernels). It reports whether a slot was found; with the default
+// linear fallback enabled it can only return false for a zero-capacity
+// table.
+func (t Table) Accumulate(k uint32, v float64, shared bool) bool {
+	if t.p1 == 0 {
+		if t.a.Stats != nil {
+			t.a.Stats.Failures.Add(1)
+		}
+		return false
+	}
+	st := t.a.Stats
+	if st != nil {
+		st.Accumulates.Add(1)
+	}
+	maxRetries := t.a.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	i := uint64(k)
+	di := t.initialStep(k)
+	for try := 0; try < maxRetries; try++ {
+		s := int64(i % uint64(t.p1))
+		if st != nil {
+			st.Probes.Add(1)
+			if try > 0 {
+				st.Collisions.Add(1)
+			}
+		}
+		if t.tryslot(s, k, v, shared) {
+			return true
+		}
+		i += di
+		di = t.step(di, k)
+	}
+	if !t.a.LinearFallback {
+		if st != nil {
+			st.Failures.Add(1)
+		}
+		return false
+	}
+	if st != nil {
+		st.Fallbacks.Add(1)
+	}
+	// Full-circle linear probe: guaranteed to find k's slot or an empty one
+	// because capacity ≥ degree ≥ distinct keys.
+	s0 := int64(uint64(k) % uint64(t.p1))
+	for off := int64(0); off < int64(t.p1); off++ {
+		s := s0 + off
+		if s >= int64(t.p1) {
+			s -= int64(t.p1)
+		}
+		if st != nil {
+			st.Probes.Add(1)
+		}
+		if t.tryslot(s, k, v, shared) {
+			return true
+		}
+	}
+	if st != nil {
+		st.Failures.Add(1)
+	}
+	return false
+}
+
+// tryslot attempts to claim or update slot s for key k; returns true when
+// the value was accumulated.
+func (t Table) tryslot(s int64, k uint32, v float64, shared bool) bool {
+	idx := t.base + s
+	if !shared {
+		cur := t.a.Keys[idx]
+		if cur == k || cur == EmptyKey {
+			if cur == EmptyKey {
+				t.a.Keys[idx] = k
+			}
+			t.addValue(idx, v)
+			return true
+		}
+		return false
+	}
+	cur := simt.AtomicLoadUint32(t.a.Keys, int(idx))
+	if cur == k || cur == EmptyKey {
+		old := simt.AtomicCASUint32(t.a.Keys, int(idx), EmptyKey, k)
+		if old == EmptyKey || old == k {
+			t.atomicAddValue(idx, v)
+			return true
+		}
+	}
+	return false
+}
+
+func (t Table) addValue(idx int64, v float64) {
+	if t.a.Kind == Float32 {
+		t.a.V32[idx] = math.Float32bits(math.Float32frombits(t.a.V32[idx]) + float32(v))
+	} else {
+		t.a.V64[idx] = math.Float64bits(math.Float64frombits(t.a.V64[idx]) + v)
+	}
+}
+
+func (t Table) atomicAddValue(idx int64, v float64) {
+	if t.a.Kind == Float32 {
+		simt.AtomicAddFloat32Bits(t.a.V32, int(idx), float32(v))
+	} else {
+		simt.AtomicAddFloat64Bits(t.a.V64, int(idx), v)
+	}
+}
+
+// Value returns the accumulated weight in slot s (0 when empty).
+func (t Table) Value(s int) float64 {
+	idx := t.base + int64(s)
+	if t.a.Kind == Float32 {
+		return float64(math.Float32frombits(t.a.V32[idx]))
+	}
+	return math.Float64frombits(t.a.V64[idx])
+}
+
+// Key returns the key in slot s, or EmptyKey.
+func (t Table) Key(s int) uint32 { return t.a.Keys[t.base+int64(s)] }
+
+// MaxKey scans the table and returns the key with the greatest accumulated
+// weight and that weight — the hashtableMaxKey of Algorithm 1. Ties keep the
+// lowest slot scanned first (the "strict" LPA variant: first label with the
+// highest weight). ok is false for an empty table.
+func (t Table) MaxKey() (key uint32, weight float64, ok bool) {
+	key = EmptyKey
+	for s := 0; s < int(t.p1); s++ {
+		k := t.Key(s)
+		if k == EmptyKey {
+			continue
+		}
+		w := t.Value(s)
+		if !ok || w > weight {
+			key, weight, ok = k, w, true
+		}
+	}
+	return key, weight, ok
+}
+
+// MaxKeyStrided is MaxKey restricted to slots lane, lane+stride, ... —
+// one lane's share of a block-wide parallel max-reduce.
+func (t Table) MaxKeyStrided(lane, stride int) (key uint32, weight float64, ok bool) {
+	key = EmptyKey
+	for s := lane; s < int(t.p1); s += stride {
+		k := t.Key(s)
+		if k == EmptyKey {
+			continue
+		}
+		w := t.Value(s)
+		if !ok || w > weight {
+			key, weight, ok = k, w, true
+		}
+	}
+	return key, weight, ok
+}
+
+// MaxKeyPreferLow is MaxKey with the pick-less-friendly tie-break: among
+// equal weights the smaller label wins, which makes the Pick-Less iteration
+// deterministic regardless of slot layout.
+func (t Table) MaxKeyPreferLow() (key uint32, weight float64, ok bool) {
+	key = EmptyKey
+	for s := 0; s < int(t.p1); s++ {
+		k := t.Key(s)
+		if k == EmptyKey {
+			continue
+		}
+		w := t.Value(s)
+		if !ok || w > weight || (w == weight && k < key) {
+			key, weight, ok = k, w, true
+		}
+	}
+	return key, weight, ok
+}

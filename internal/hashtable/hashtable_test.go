@@ -1,0 +1,384 @@
+package hashtable
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var allProbings = []Probing{Linear, Quadratic, Double, QuadraticDouble}
+var allKinds = []ValueKind{Float32, Float64}
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ in, want uint32 }{
+		{0, 1}, {1, 2}, {2, 4}, {3, 4}, {4, 8}, {7, 8}, {8, 16}, {100, 128},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.in); got != c.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCapacityFitsWindowAndDegree(t *testing.T) {
+	for d := 0; d <= 5000; d++ {
+		p1 := CapacityFor(d)
+		if d > 0 && int(p1) < d {
+			t.Fatalf("degree %d: capacity %d < degree", d, p1)
+		}
+		if int64(p1) >= 2*int64(d)+1 && d > 0 {
+			t.Fatalf("degree %d: capacity %d does not fit 2*degree window", d, p1)
+		}
+	}
+}
+
+func TestSecondaryModulusCoprime(t *testing.T) {
+	a := NewArena(Float32, 1024)
+	for d := 1; d < 300; d++ {
+		tb := a.TableFor(0, d, QuadraticDouble)
+		p1, p2 := uint32(tb.Capacity()), tb.SecondaryModulus()
+		if p2 <= p1 {
+			t.Fatalf("degree %d: p2=%d <= p1=%d", d, p2, p1)
+		}
+		if gcd(p1, p2) != 1 && p1 > 0 {
+			t.Fatalf("degree %d: gcd(%d,%d) = %d", d, p1, p2, gcd(p1, p2))
+		}
+	}
+}
+
+func gcd(a, b uint32) uint32 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func TestProbingString(t *testing.T) {
+	names := map[Probing]string{
+		Linear: "linear", Quadratic: "quadratic", Double: "double",
+		QuadraticDouble: "quadratic-double", Probing(99): "probing(99)",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+	if Float32.String() != "float" || Float64.String() != "double" {
+		t.Error("ValueKind names wrong")
+	}
+}
+
+func TestAccumulateAndMaxSimple(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, pr := range allProbings {
+			a := NewArena(kind, 64)
+			tb := a.TableFor(0, 8, pr) // capacity 15
+			tb.Clear(0, 1)
+			tb.Accumulate(3, 1, false)
+			tb.Accumulate(5, 2, false)
+			tb.Accumulate(3, 2, false) // 3 -> 3.0 total
+			k, w, ok := tb.MaxKey()
+			if !ok || k != 3 || w != 3 {
+				t.Errorf("%v/%v: MaxKey = (%d,%g,%v), want (3,3,true)", kind, pr, k, w, ok)
+			}
+		}
+	}
+}
+
+func TestMaxKeyEmpty(t *testing.T) {
+	a := NewArena(Float32, 64)
+	tb := a.TableFor(0, 8, QuadraticDouble)
+	if _, _, ok := tb.MaxKey(); ok {
+		t.Error("MaxKey found a key in an empty table")
+	}
+	if _, _, ok := tb.MaxKeyPreferLow(); ok {
+		t.Error("MaxKeyPreferLow found a key in an empty table")
+	}
+}
+
+func TestZeroCapacityTable(t *testing.T) {
+	a := NewArena(Float32, 8)
+	tb := a.TableFor(0, 0, QuadraticDouble)
+	if tb.Capacity() != 0 {
+		t.Fatalf("capacity = %d", tb.Capacity())
+	}
+	if tb.Accumulate(1, 1, false) {
+		t.Error("Accumulate succeeded on zero-capacity table")
+	}
+}
+
+func TestMaxKeyTieBreaks(t *testing.T) {
+	a := NewArena(Float64, 64)
+	tb := a.TableFor(0, 8, QuadraticDouble)
+	tb.Clear(0, 1)
+	tb.Accumulate(9, 2, false)
+	tb.Accumulate(4, 2, false)
+	k, _, _ := tb.MaxKeyPreferLow()
+	if k != 4 {
+		t.Errorf("MaxKeyPreferLow tie = %d, want 4", k)
+	}
+}
+
+func TestClearStrided(t *testing.T) {
+	a := NewArena(Float32, 64)
+	tb := a.TableFor(0, 8, Linear)
+	tb.Accumulate(1, 5, false)
+	tb.Accumulate(2, 5, false)
+	// Strided clear as four lanes would do it.
+	for lane := 0; lane < 4; lane++ {
+		tb.Clear(lane, 4)
+	}
+	if _, _, ok := tb.MaxKey(); ok {
+		t.Error("table not empty after strided clear")
+	}
+}
+
+// TestAccumulateMatchesMapOracle is the central property test: for random
+// multisets of (key, weight) pairs, accumulate-then-max must agree with a
+// map-based reference under every probing strategy, value kind, and both
+// shared and unshared paths.
+func TestAccumulateMatchesMapOracle(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, pr := range allProbings {
+			for _, shared := range []bool{false, true} {
+				kind, pr, shared := kind, pr, shared
+				f := func(seed int64) bool {
+					rng := rand.New(rand.NewSource(seed))
+					deg := 1 + rng.Intn(40)
+					a := NewArena(kind, int64(2*64))
+					tb := a.TableFor(0, 64, pr) // capacity 127 > any deg
+					tb.Clear(0, 1)
+					oracle := map[uint32]float64{}
+					for i := 0; i < deg; i++ {
+						k := uint32(rng.Intn(16))
+						w := float64(1 + rng.Intn(4))
+						if !tb.Accumulate(k, w, shared) {
+							return false
+						}
+						oracle[k] += w
+					}
+					var bestK uint32 = EmptyKey
+					bestW := math.Inf(-1)
+					for k, w := range oracle {
+						if w > bestW || (w == bestW && k < bestK) {
+							bestK, bestW = k, w
+						}
+					}
+					gotK, gotW, ok := tb.MaxKeyPreferLow()
+					if !ok || gotK != bestK || gotW != bestW {
+						return false
+					}
+					// Every oracle key is present with the right total.
+					for k, w := range oracle {
+						found := false
+						for s := 0; s < tb.Capacity(); s++ {
+							if tb.Key(s) == k {
+								if tb.Value(s) != w {
+									return false
+								}
+								found = true
+								break
+							}
+						}
+						if !found {
+							return false
+						}
+					}
+					return true
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+					t.Errorf("kind=%v probing=%v shared=%v: %v", kind, pr, shared, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFullLoad fills a table to exactly its degree with distinct keys — the
+// worst legal load — and checks every strategy still lands every key thanks
+// to the linear fallback.
+func TestFullLoad(t *testing.T) {
+	for _, pr := range allProbings {
+		for _, deg := range []int{1, 2, 3, 7, 15, 31} { // Mersenne degrees: 100% load
+			a := NewArena(Float32, int64(2*deg)+2)
+			tb := a.TableFor(0, deg, pr)
+			tb.Clear(0, 1)
+			for k := 0; k < deg; k++ {
+				if !tb.Accumulate(uint32(k*1009+7), 1, false) {
+					t.Fatalf("probing=%v deg=%d: failed to place key %d", pr, deg, k)
+				}
+			}
+			// All placed exactly once.
+			seen := map[uint32]bool{}
+			for s := 0; s < tb.Capacity(); s++ {
+				if k := tb.Key(s); k != EmptyKey {
+					if seen[k] {
+						t.Fatalf("probing=%v: duplicate key %d", pr, k)
+					}
+					seen[k] = true
+				}
+			}
+			if len(seen) != deg {
+				t.Fatalf("probing=%v deg=%d: placed %d keys", pr, deg, len(seen))
+			}
+		}
+	}
+}
+
+func TestFailureWithoutFallback(t *testing.T) {
+	// Quadratic probing on a Mersenne-capacity table visits few distinct
+	// slots; with the fallback disabled and a tiny retry budget, Algorithm
+	// 2's "failed" status must surface.
+	a := NewArena(Float32, 16)
+	a.LinearFallback = false
+	a.MaxRetries = 2
+	a.Stats = &Stats{}
+	tb := a.TableFor(0, 3, Quadratic) // capacity 3
+	tb.Clear(0, 1)
+	failed := false
+	for k := uint32(0); k < 3; k++ {
+		if !tb.Accumulate(k*3, 1, false) { // all keys hash to slot 0
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("expected at least one failure with fallback disabled")
+	}
+	if a.Stats.Failures.Load() == 0 {
+		t.Error("failure not counted in stats")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	a := NewArena(Float32, 32)
+	a.Stats = &Stats{}
+	tb := a.TableFor(0, 8, Linear)
+	tb.Clear(0, 1)
+	tb.Accumulate(0, 1, false)
+	tb.Accumulate(15, 1, false) // 15 mod 15 = 0: collides with key 0
+	if got := a.Stats.Accumulates.Load(); got != 2 {
+		t.Errorf("Accumulates = %d, want 2", got)
+	}
+	if got := a.Stats.Probes.Load(); got < 3 {
+		t.Errorf("Probes = %d, want >= 3", got)
+	}
+	if got := a.Stats.Collisions.Load(); got < 1 {
+		t.Errorf("Collisions = %d, want >= 1", got)
+	}
+	a.Stats.Reset()
+	if a.Stats.Probes.Load() != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestArenaBytes(t *testing.T) {
+	a32 := NewArena(Float32, 100)
+	a64 := NewArena(Float64, 100)
+	if a32.Bytes() != 800 {
+		t.Errorf("float32 arena bytes = %d, want 800", a32.Bytes())
+	}
+	if a64.Bytes() != 1200 {
+		t.Errorf("float64 arena bytes = %d, want 1200", a64.Bytes())
+	}
+	if a64.Bytes() <= a32.Bytes() {
+		t.Error("float64 arena not larger than float32")
+	}
+}
+
+func TestTablesDoNotOverlap(t *testing.T) {
+	// Two vertices with adjacent CSR offsets: their windows must be disjoint.
+	a := NewArena(Float32, 2*(8+8))
+	t1 := a.TableFor(0, 8, Linear) // window [0,15)
+	t2 := a.TableFor(8, 8, Linear) // window [16,31)
+	t1.Clear(0, 1)
+	t2.Clear(0, 1)
+	t1.Accumulate(1, 10, false)
+	t2.Accumulate(1, 20, false)
+	_, w1, _ := t1.MaxKey()
+	_, w2, _ := t2.MaxKey()
+	if w1 != 10 || w2 != 20 {
+		t.Errorf("windows overlap: w1=%g w2=%g", w1, w2)
+	}
+}
+
+func TestFloat32PrecisionBehaviour(t *testing.T) {
+	// Accumulating unit weights stays exact in float32 well beyond any
+	// realistic degree (< 2^24), which is why Figure 5 sees no quality loss.
+	a := NewArena(Float32, 8)
+	tb := a.TableFor(0, 2, Linear)
+	tb.Clear(0, 1)
+	for i := 0; i < 100000; i++ {
+		tb.Accumulate(1, 1, false)
+	}
+	if _, w, _ := tb.MaxKey(); w != 100000 {
+		t.Errorf("float32 sum = %g, want 100000", w)
+	}
+}
+
+func TestMaxKeyStrided(t *testing.T) {
+	a := NewArena(Float64, 64)
+	tb := a.TableFor(0, 8, Linear) // capacity 15
+	tb.Clear(0, 1)
+	// Keys land at slot = key mod 15.
+	tb.Accumulate(1, 5, false)  // slot 1
+	tb.Accumulate(2, 9, false)  // slot 2
+	tb.Accumulate(16, 7, false) // slot 1 occupied? 16 mod 15 = 1 -> probes to 2... occupied -> 3
+	// Combine per-lane partial maxima the way the block kernel does.
+	stride := 4
+	var bestK uint32 = EmptyKey
+	bestW := -1.0
+	found := false
+	for lane := 0; lane < stride; lane++ {
+		k, w, ok := tb.MaxKeyStrided(lane, stride)
+		if !ok {
+			continue
+		}
+		if !found || w > bestW {
+			bestK, bestW, found = k, w, true
+		}
+	}
+	wantK, wantW, _ := tb.MaxKey()
+	if !found || bestK != wantK || bestW != wantW {
+		t.Errorf("strided max = (%d,%g), full max = (%d,%g)", bestK, bestW, wantK, wantW)
+	}
+	// A lane beyond capacity sees nothing.
+	if _, _, ok := tb.MaxKeyStrided(15, 16); ok {
+		t.Error("out-of-range lane found a key")
+	}
+}
+
+// TestSharedCollidingKeys forces the shared atomic path through real probe
+// chains: many distinct keys with identical home slots.
+func TestSharedCollidingKeys(t *testing.T) {
+	for _, pr := range allProbings {
+		a := NewArena(Float64, 2*64)
+		tb := a.TableFor(0, 64, pr) // capacity 127
+		tb.Clear(0, 1)
+		// Keys k, k+127, k+2*127... share home slots.
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if !tb.Accumulate(uint32(5+127*i), 1, true) {
+						t.Errorf("probing=%v: accumulate failed", pr)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var total float64
+		for s := 0; s < tb.Capacity(); s++ {
+			if tb.Key(s) != EmptyKey {
+				total += tb.Value(s)
+			}
+		}
+		if total != 80 {
+			t.Errorf("probing=%v: total = %g, want 80", pr, total)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package louvain implements the Louvain method for modularity-based
+// community detection (Blondel et al.), the algorithm behind cuGraph Louvain
+// — the paper's GPU comparator for the LPA-vs-Louvain trade-off: Louvain
+// finds higher-modularity communities (the paper measures +9.6% over ν-LPA)
+// at a much higher runtime (ν-LPA is 37× faster).
+//
+// The implementation is the classic two-phase scheme: local moving driven by
+// delta-modularity (equation 2 of the paper), then graph aggregation where
+// every community becomes a super-vertex whose internal weight is kept as a
+// self-loop; the two phases repeat until a pass yields no improvement.
+package louvain
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nulpa/internal/graph"
+)
+
+// Options configure a Louvain run.
+type Options struct {
+	// Resolution γ scales the null-model term; 1 is classic modularity.
+	Resolution float64
+	// Tolerance stops local moving once an iteration's total gain in
+	// modularity drops below it.
+	Tolerance float64
+	// MaxLevels caps aggregation passes.
+	MaxLevels int
+	// MaxLocalIterations caps local-moving sweeps per level.
+	MaxLocalIterations int
+	// Workers > 1 runs the local-moving phase as a parallel sweep with
+	// atomic community-total accounting — the relaxation cuGraph and
+	// GVE-Louvain use. 0 or 1 selects the classic sequential sweep.
+	Workers int
+}
+
+// DefaultOptions mirrors typical library defaults (cuGraph: resolution 1,
+// up to 100 levels bounded in practice by convergence).
+func DefaultOptions() Options {
+	return Options{Resolution: 1, Tolerance: 1e-6, MaxLevels: 20, MaxLocalIterations: 50}
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Labels maps each original vertex to its final community.
+	Labels []uint32
+	// Levels is the number of aggregation passes performed.
+	Levels int
+	// Iterations is the total count of local-moving sweeps across levels.
+	Iterations int
+	Duration   time.Duration
+}
+
+// Detect runs the Louvain method on g.
+func Detect(g *graph.CSR, opt Options) *Result {
+	if opt.Resolution <= 0 {
+		opt.Resolution = 1
+	}
+	if opt.MaxLevels <= 0 {
+		opt.MaxLevels = 20
+	}
+	if opt.MaxLocalIterations <= 0 {
+		opt.MaxLocalIterations = 50
+	}
+	start := time.Now()
+	res := &Result{}
+
+	n := g.NumVertices()
+	// membership[v] is the community of original vertex v, threaded through
+	// every aggregation level.
+	membership := make([]uint32, n)
+	for i := range membership {
+		membership[i] = uint32(i)
+	}
+	work := g
+	for level := 0; level < opt.MaxLevels; level++ {
+		var comm []uint32
+		var moved bool
+		var sweeps int
+		if opt.Workers > 1 {
+			comm, moved, sweeps = localMoveParallel(work, opt)
+		} else {
+			comm, moved, sweeps = localMove(work, opt)
+		}
+		res.Iterations += sweeps
+		if !moved {
+			break
+		}
+		res.Levels++
+		comm, numComm := compactLabels(comm)
+		for v := range membership {
+			membership[v] = comm[membership[v]]
+		}
+		if numComm == work.NumVertices() {
+			break // no contraction possible; fixed point
+		}
+		work = aggregate(work, comm, numComm)
+	}
+	res.Labels = membership
+	res.Duration = time.Since(start)
+	return res
+}
+
+// localMove performs modularity-greedy label sweeps on g and returns the
+// community of each vertex, whether any vertex moved, and the sweep count.
+func localMove(g *graph.CSR, opt Options) (comm []uint32, moved bool, sweeps int) {
+	n := g.NumVertices()
+	twoM := g.TotalWeight()
+	comm = make([]uint32, n)
+	sigma := make([]float64, n) // Σtot per community
+	ki := make([]float64, n)
+	for v := 0; v < n; v++ {
+		comm[v] = uint32(v)
+		ki[v] = g.WeightedDegree(graph.Vertex(v))
+		sigma[v] = ki[v]
+	}
+	if twoM == 0 {
+		return comm, false, 0
+	}
+	gamma := opt.Resolution
+	neigh := make(map[uint32]float64)
+	for sweeps = 0; sweeps < opt.MaxLocalIterations; sweeps++ {
+		changes := 0
+		var gain float64
+		for v := 0; v < n; v++ {
+			u := graph.Vertex(v)
+			ts, ws := g.Neighbors(u)
+			if len(ts) == 0 {
+				continue
+			}
+			clear(neigh)
+			for k, j := range ts {
+				if j == u {
+					continue
+				}
+				neigh[comm[j]] += float64(ws[k])
+			}
+			d := comm[v]
+			// Remove v from its community for the comparison.
+			sigma[d] -= ki[v]
+			best, bestGain := d, neigh[d]-gamma*sigma[d]*ki[v]/twoM
+			for c, kvc := range neigh {
+				if c == d {
+					continue
+				}
+				gc := kvc - gamma*sigma[c]*ki[v]/twoM
+				if gc > bestGain+1e-12 || (gc == bestGain && c < best) {
+					best, bestGain = c, gc
+				}
+			}
+			sigma[best] += ki[v]
+			if best != d {
+				comm[v] = best
+				changes++
+				gain += (bestGain - (neigh[d] - gamma*sigma[d]*ki[v]/twoM)) / (twoM / 2)
+			}
+		}
+		if changes > 0 {
+			moved = true
+		}
+		if changes == 0 || gain < opt.Tolerance {
+			sweeps++
+			break
+		}
+	}
+	return comm, moved, sweeps
+}
+
+// compactLabels renumbers community ids densely.
+func compactLabels(comm []uint32) ([]uint32, int) {
+	remap := make(map[uint32]uint32, len(comm)/4)
+	out := make([]uint32, len(comm))
+	for i, c := range comm {
+		id, ok := remap[c]
+		if !ok {
+			id = uint32(len(remap))
+			remap[c] = id
+		}
+		out[i] = id
+	}
+	return out, len(remap)
+}
+
+// aggregate contracts every community of g into a super-vertex. Intra-
+// community weight is preserved as a self-loop (stored once, with the full
+// both-directions weight), so total arc weight — and therefore modularity —
+// is preserved across levels.
+func aggregate(g *graph.CSR, comm []uint32, numComm int) *graph.CSR {
+	n := g.NumVertices()
+	acc := make([]map[uint32]float64, numComm)
+	for v := 0; v < n; v++ {
+		cu := comm[v]
+		if acc[cu] == nil {
+			acc[cu] = make(map[uint32]float64)
+		}
+		ts, ws := g.Neighbors(graph.Vertex(v))
+		for k, j := range ts {
+			w := float64(ws[k])
+			cv := comm[j]
+			if j == graph.Vertex(v) {
+				// Existing self-loop: weight already counted once.
+				acc[cu][cu] += w
+				continue
+			}
+			acc[cu][cv] += w
+		}
+	}
+	// Build CSR arrays directly. Cross-community arcs appear once in each
+	// endpoint community's map — both directions present, as CSR requires.
+	// The new self-loop accumulates every internal arc from both endpoint
+	// scans (2w per undirected internal edge) plus pre-existing self-loops
+	// once, which is exactly the "both directions" internal weight under
+	// the store-once self-loop convention, so no rescaling is needed and
+	// total arc weight (2m) is preserved.
+	offsets := make([]int64, numComm+1)
+	for c := 0; c < numComm; c++ {
+		offsets[c+1] = offsets[c] + int64(len(acc[c]))
+	}
+	targets := make([]graph.Vertex, offsets[numComm])
+	weights := make([]float32, offsets[numComm])
+	for c := 0; c < numComm; c++ {
+		p := offsets[c]
+		for cv, w := range acc[c] {
+			targets[p] = cv
+			weights[p] = float32(w)
+			p++
+		}
+	}
+	out := graph.New(offsets, targets, weights)
+	sortAdj(out)
+	return out
+}
+
+// sortAdj sorts each adjacency list in place (insertion sort: lists are
+// short after aggregation and often nearly sorted).
+func sortAdj(g *graph.CSR) {
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		for i := lo + 1; i < hi; i++ {
+			t, w := g.Targets[i], g.Weights[i]
+			j := i
+			for j > lo && g.Targets[j-1] > t {
+				g.Targets[j], g.Weights[j] = g.Targets[j-1], g.Weights[j-1]
+				j--
+			}
+			g.Targets[j], g.Weights[j] = t, w
+		}
+	}
+}
+
+// localMoveParallel is localMove with a chunked parallel sweep: community
+// totals live in an atomically updated float64 bit-pattern array, and each
+// worker keeps its own neighbour-weight accumulator. Decisions use slightly
+// stale Σtot values — the standard parallel-Louvain relaxation, repaired by
+// subsequent sweeps.
+func localMoveParallel(g *graph.CSR, opt Options) (comm []uint32, moved bool, sweeps int) {
+	n := g.NumVertices()
+	twoM := g.TotalWeight()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	comm = make([]uint32, n)
+	sigmaBits := make([]uint64, n)
+	ki := make([]float64, n)
+	for v := 0; v < n; v++ {
+		comm[v] = uint32(v)
+		ki[v] = g.WeightedDegree(graph.Vertex(v))
+		sigmaBits[v] = math.Float64bits(ki[v])
+	}
+	if twoM == 0 {
+		return comm, false, 0
+	}
+	gamma := opt.Resolution
+	const chunk = 1024
+	for sweeps = 0; sweeps < opt.MaxLocalIterations; sweeps++ {
+		var changes int64
+		var cursor int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				neigh := make(map[uint32]float64)
+				var local int64
+				for {
+					c := atomic.AddInt64(&cursor, chunk) - chunk
+					if c >= int64(n) {
+						break
+					}
+					hi := c + chunk
+					if hi > int64(n) {
+						hi = int64(n)
+					}
+					for v := c; v < hi; v++ {
+						u := graph.Vertex(v)
+						ts, ws := g.Neighbors(u)
+						if len(ts) == 0 {
+							continue
+						}
+						clear(neigh)
+						for k, j := range ts {
+							if j == u {
+								continue
+							}
+							neigh[atomic.LoadUint32(&comm[j])] += float64(ws[k])
+						}
+						d := atomic.LoadUint32(&comm[v])
+						// Remove v for the comparison.
+						atomicAddFloat(sigmaBits, int(d), -ki[v])
+						best := d
+						bestGain := neigh[d] - gamma*loadFloat(sigmaBits, int(d))*ki[v]/twoM
+						for cc, kvc := range neigh {
+							if cc == d {
+								continue
+							}
+							gc := kvc - gamma*loadFloat(sigmaBits, int(cc))*ki[v]/twoM
+							if gc > bestGain+1e-12 || (gc == bestGain && cc < best) {
+								best, bestGain = cc, gc
+							}
+						}
+						atomicAddFloat(sigmaBits, int(best), ki[v])
+						if best != d {
+							atomic.StoreUint32(&comm[v], best)
+							local++
+						}
+					}
+				}
+				if local != 0 {
+					atomic.AddInt64(&changes, local)
+				}
+			}()
+		}
+		wg.Wait()
+		if changes > 0 {
+			moved = true
+		}
+		// Parallel sweeps lack a cheap exact gain total; stop when the
+		// change count collapses.
+		if changes == 0 || float64(changes) < 1e-3*float64(n) {
+			sweeps++
+			break
+		}
+	}
+	return comm, moved, sweeps
+}
+
+func loadFloat(bits []uint64, i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&bits[i]))
+}
+
+func atomicAddFloat(bits []uint64, i int, delta float64) {
+	for {
+		old := atomic.LoadUint64(&bits[i])
+		newV := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(&bits[i], old, newV) {
+			return
+		}
+	}
+}

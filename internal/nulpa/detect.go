@@ -1,0 +1,367 @@
+package nulpa
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"nulpa/internal/graph"
+	"nulpa/internal/hashtable"
+	"nulpa/internal/simt"
+)
+
+// Detect runs ν-LPA on g and returns the community membership of every
+// vertex (Algorithm 1). The graph must be undirected (as produced by the
+// graph package builders). It returns an error only for invalid options or
+// when the simulated device cannot hold the working set (the paper's
+// out-of-memory condition on sk-2005).
+func Detect(g *graph.CSR, opt Options) (*Result, error) {
+	if err := checkOptions(&opt); err != nil {
+		return nil, err
+	}
+	if opt.Backend == BackendDirect {
+		return detectDirect(g, opt)
+	}
+	return detectSIMT(g, opt)
+}
+
+func checkOptions(opt *Options) error {
+	if opt.MaxIterations <= 0 {
+		return fmt.Errorf("nulpa: MaxIterations must be positive, got %d", opt.MaxIterations)
+	}
+	if opt.Tolerance < 0 || opt.Tolerance >= 1 {
+		return fmt.Errorf("nulpa: Tolerance must be in [0,1), got %g", opt.Tolerance)
+	}
+	if opt.PickLessEvery < 0 || opt.CrossCheckEvery < 0 {
+		return fmt.Errorf("nulpa: mitigation periods must be non-negative")
+	}
+	if opt.SwitchDegree < 0 {
+		return fmt.Errorf("nulpa: SwitchDegree must be non-negative, got %d", opt.SwitchDegree)
+	}
+	if opt.BlockDim <= 0 {
+		opt.BlockDim = 256
+	}
+	return nil
+}
+
+// runState is the device-resident state shared by the kernels of one run.
+type runState struct {
+	g         *graph.CSR
+	arena     anyArena
+	labels    []uint32 // C
+	prev      []uint32 // labels before the current iteration (Cross-Check)
+	processed []uint32 // vertex pruning flags: 1 = skip
+	pickless  bool
+	noPrune   bool  // DisablePruning: skip the processed-flag fast path
+	deltaN    int64 // atomic: label changes this iteration
+	reverts   int64 // atomic: Cross-Check reverts this iteration
+}
+
+func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
+	dev := opt.Device
+	if dev == nil {
+		dev = simt.NewDevice(0)
+	}
+	n := g.NumVertices()
+	arcs := g.NumArcs()
+
+	st := &runState{g: g, arena: newAnyArena(opt, 2*arcs), noPrune: opt.DisablePruning}
+	// Device memory: CSR (offsets, targets, weights), hashtable arena,
+	// labels, pruning flags, candidate buffer.
+	bytes := int64(len(g.Offsets))*8 + arcs*4 + arcs*4 + st.arena.bytes() + int64(n)*4*3
+	if opt.CrossCheckEvery > 0 {
+		bytes += int64(n) * 4
+	}
+	if err := dev.Alloc(bytes); err != nil {
+		return nil, fmt.Errorf("nulpa: graph with %d arcs does not fit on device: %w", arcs, err)
+	}
+	defer dev.Free(bytes)
+
+	res := &Result{DeviceBytes: bytes}
+	if opt.TrackStats {
+		res.HashStats = &hashtable.Stats{}
+		st.arena.attachStats(res.HashStats)
+	}
+
+	st.labels = make([]uint32, n)
+	st.processed = make([]uint32, n)
+	for i := range st.labels {
+		st.labels[i] = uint32(i)
+	}
+	if opt.CrossCheckEvery > 0 {
+		st.prev = make([]uint32, n)
+	}
+
+	low, high := partitionByDegree(g, opt.SwitchDegree)
+	tk := &threadKernel{runState: st, list: low, cand: make([]uint32, len(low))}
+	bk := &blockKernel{runState: st, list: high, blockDim: opt.BlockDim}
+
+	start := time.Now()
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		iterStart := time.Now()
+		st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
+		crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
+		atomic.StoreInt64(&st.deltaN, 0)
+		atomic.StoreInt64(&st.reverts, 0)
+		if crosscheck {
+			copy(st.prev, st.labels)
+		}
+
+		if len(low) > 0 {
+			dev.Launch1D(len(low), opt.BlockDim, tk)
+		}
+		if len(high) > 0 {
+			dev.Launch(len(high), opt.BlockDim, bk)
+		}
+		if crosscheck {
+			ck := &crossCheckKernel{runState: st}
+			dev.Launch1D(n, opt.BlockDim, ck)
+		}
+
+		delta := atomic.LoadInt64(&st.deltaN) - atomic.LoadInt64(&st.reverts)
+		res.Moves += delta
+		res.Reverts += atomic.LoadInt64(&st.reverts)
+		res.DeltaHistory = append(res.DeltaHistory, delta)
+		res.Trace = append(res.Trace, IterStat{
+			PickLess:   st.pickless,
+			CrossCheck: crosscheck,
+			Moves:      atomic.LoadInt64(&st.deltaN),
+			Reverts:    atomic.LoadInt64(&st.reverts),
+			Duration:   time.Since(iterStart),
+		})
+		res.Iterations = iter + 1
+
+		if !st.pickless && float64(delta) < opt.Tolerance*float64(n) {
+			res.Converged = true
+			break
+		}
+		// A fixed point under permanent Pick-Less is also converged.
+		if delta == 0 && opt.PickLessEvery == 1 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	res.Labels = st.labels
+	return res, nil
+}
+
+// partitionByDegree splits vertices into the thread-per-vertex list (degree
+// in [1, switchDegree)) and the block-per-vertex list (degree >=
+// switchDegree). Isolated vertices are excluded — they keep their own label
+// forever. A switchDegree of 0 sends every vertex to the block kernel.
+func partitionByDegree(g *graph.CSR, switchDegree int) (low, high []graph.Vertex) {
+	n := g.NumVertices()
+	for i := 0; i < n; i++ {
+		d := g.Degree(graph.Vertex(i))
+		if d == 0 {
+			continue
+		}
+		if d < switchDegree {
+			low = append(low, graph.Vertex(i))
+		} else {
+			high = append(high, graph.Vertex(i))
+		}
+	}
+	return low, high
+}
+
+// threadKernel is the thread-per-vertex kernel for low-degree vertices. Two
+// lockstep phases: phase 0 reads neighbour labels and picks the candidate,
+// phase 1 writes the move. All lanes of a block therefore read before any
+// lane writes — the exact interleaving that produces community swaps on
+// lockstep hardware.
+type threadKernel struct {
+	*runState
+	list []graph.Vertex
+	cand []uint32
+}
+
+func (k *threadKernel) NumPhases() int { return 2 }
+
+func (k *threadKernel) Phase(p int, t *simt.Thread) {
+	gid := t.GlobalID()
+	if gid >= len(k.list) {
+		return
+	}
+	i := k.list[gid]
+	switch p {
+	case 0:
+		k.cand[gid] = hashtable.EmptyKey
+		if !k.noPrune {
+			if simt.AtomicLoadUint32(k.processed, int(i)) == 1 {
+				return
+			}
+			simt.AtomicStoreUint32(k.processed, int(i), 1)
+		}
+		deg := k.g.Degree(i)
+		tb := k.arena.tableFor(k.g.Offset(i), deg)
+		tb.clear(0, 1)
+		ts, ws := k.g.Neighbors(i)
+		for idx, j := range ts {
+			if j == i {
+				continue
+			}
+			cj := simt.AtomicLoadUint32(k.labels, int(j))
+			tb.accumulate(cj, float64(ws[idx]), false)
+		}
+		if c, _, ok := tb.best(); ok {
+			k.cand[gid] = c
+		}
+	case 1:
+		c := k.cand[gid]
+		if c == hashtable.EmptyKey {
+			return
+		}
+		cur := simt.AtomicLoadUint32(k.labels, int(i))
+		if c == cur || (k.pickless && c > cur) {
+			return
+		}
+		simt.AtomicStoreUint32(k.labels, int(i), c)
+		atomic.AddInt64(&k.deltaN, 1)
+		ts, _ := k.g.Neighbors(i)
+		for _, j := range ts {
+			simt.AtomicStoreUint32(k.processed, int(j), 0)
+		}
+	}
+}
+
+// blockKernel is the block-per-vertex kernel for high-degree vertices. One
+// thread block cooperates on one vertex: strided clear, strided atomic
+// accumulation into the shared hashtable, a parallel max-reduce (each lane
+// scans a strided share of the table into shared memory, then lane 0 reduces
+// the partials — the hashtableMaxKey "in parallel" of Algorithm 1), then the
+// move. Shared memory layout: word 0 = skip flag, word 1 = moved flag,
+// words [2, 2+2·blockDim) = per-lane (key, weight-bits) partial maxima.
+type blockKernel struct {
+	*runState
+	list     []graph.Vertex
+	blockDim int
+}
+
+func (k *blockKernel) NumPhases() int     { return 6 }
+func (k *blockKernel) SharedUint64s() int { return 2 + 2*k.blockDim }
+
+func (k *blockKernel) Phase(p int, t *simt.Thread) {
+	if t.Block >= len(k.list) {
+		return
+	}
+	i := k.list[t.Block]
+	switch p {
+	case 0: // lane 0 claims the vertex
+		if t.Lane != 0 {
+			return
+		}
+		if !k.noPrune {
+			if simt.AtomicLoadUint32(k.processed, int(i)) == 1 {
+				t.Shared[0] = 1
+				return
+			}
+			simt.AtomicStoreUint32(k.processed, int(i), 1)
+		} else {
+			t.Shared[0] = 0
+		}
+	case 1: // strided hashtable clear
+		if t.Shared[0] == 1 {
+			return
+		}
+		tb := k.arena.tableFor(k.g.Offset(i), k.g.Degree(i))
+		tb.clear(t.Lane, t.BlockDim)
+	case 2: // strided atomic accumulation of neighbour labels
+		if t.Shared[0] == 1 {
+			return
+		}
+		tb := k.arena.tableFor(k.g.Offset(i), k.g.Degree(i))
+		ts, ws := k.g.Neighbors(i)
+		for idx := t.Lane; idx < len(ts); idx += t.BlockDim {
+			j := ts[idx]
+			if j == i {
+				continue
+			}
+			cj := simt.AtomicLoadUint32(k.labels, int(j))
+			tb.accumulate(cj, float64(ws[idx]), true)
+		}
+	case 3: // parallel max-reduce, step 1: per-lane partial maxima
+		if t.Shared[0] == 1 {
+			return
+		}
+		tb := k.arena.tableFor(k.g.Offset(i), k.g.Degree(i))
+		bestK, bestW, ok := tb.BestStrided(t.Lane, t.BlockDim)
+		slot := 2 + 2*t.Lane
+		if !ok {
+			t.Shared[slot] = uint64(hashtable.EmptyKey)
+			return
+		}
+		t.Shared[slot] = uint64(bestK)
+		t.Shared[slot+1] = math.Float64bits(bestW)
+	case 4: // parallel max-reduce, step 2 + move decision (lane 0)
+		if t.Shared[0] == 1 || t.Lane != 0 {
+			return
+		}
+		t.Shared[1] = 0
+		c := hashtable.EmptyKey
+		var w float64
+		ok := false
+		for lane := 0; lane < t.BlockDim; lane++ {
+			slot := 2 + 2*lane
+			lk := uint32(t.Shared[slot])
+			if lk == hashtable.EmptyKey {
+				continue
+			}
+			lw := math.Float64frombits(t.Shared[slot+1])
+			if !ok || lw > w {
+				c, w, ok = lk, lw, true
+			}
+		}
+		if !ok {
+			return
+		}
+		cur := simt.AtomicLoadUint32(k.labels, int(i))
+		if c == cur || (k.pickless && c > cur) {
+			return
+		}
+		simt.AtomicStoreUint32(k.labels, int(i), c)
+		atomic.AddInt64(&k.deltaN, 1)
+		t.Shared[1] = 1
+	case 5: // strided neighbour wake-up on move
+		if t.Shared[0] == 1 || t.Shared[1] == 0 {
+			return
+		}
+		ts, _ := k.g.Neighbors(i)
+		for idx := t.Lane; idx < len(ts); idx += t.BlockDim {
+			simt.AtomicStoreUint32(k.processed, int(ts[idx]), 0)
+		}
+	}
+}
+
+// crossCheckKernel implements the Cross-Check (CC) method: a community
+// change of vertex i to c* is "good" only if the leader vertex c* itself
+// belongs to community c*; otherwise i reverts to its previous label. The
+// check and revert are fused in a single phase, so within a block the first
+// of a swapped pair reverts and the partner then observes a good change —
+// the asymmetry that breaks the swap cycle (§4.1). Across blocks the same
+// asymmetry arises from asynchronous SM execution.
+type crossCheckKernel struct {
+	*runState
+}
+
+func (k *crossCheckKernel) NumPhases() int { return 1 }
+
+func (k *crossCheckKernel) Phase(_ int, t *simt.Thread) {
+	i := t.GlobalID()
+	if i >= len(k.labels) {
+		return
+	}
+	cur := simt.AtomicLoadUint32(k.labels, i)
+	if cur == k.prev[i] {
+		return
+	}
+	leader := simt.AtomicLoadUint32(k.labels, int(cur))
+	if leader != cur {
+		simt.AtomicStoreUint32(k.labels, i, k.prev[i])
+		atomic.AddInt64(&k.reverts, 1)
+		// The vertex changed again; let its neighbourhood reconsider.
+		simt.AtomicStoreUint32(k.processed, i, 0)
+	}
+}

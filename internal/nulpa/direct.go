@@ -1,0 +1,208 @@
+package nulpa
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nulpa/internal/graph"
+	"nulpa/internal/hashtable"
+	"nulpa/internal/simt"
+)
+
+// detectDirect executes the identical ν-LPA algorithm as a chunked multicore
+// parallel loop — no lockstep simulation, no kernel-launch bookkeeping. It
+// exists so runtime comparisons against CPU baselines measure the algorithm
+// (pruning, Pick-Less, per-vertex hashtables) rather than the cost of
+// simulating a GPU. Asynchrony between workers plays the role of asynchrony
+// between SMs; community swaps are rarer than under lockstep but Pick-Less
+// is still applied on the same schedule.
+func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
+	n := g.NumVertices()
+	arcs := g.NumArcs()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	st := &runState{g: g, arena: newAnyArena(opt, 2*arcs), noPrune: opt.DisablePruning}
+	res := &Result{DeviceBytes: st.arena.bytes()}
+	if opt.TrackStats {
+		res.HashStats = &hashtable.Stats{}
+		st.arena.attachStats(res.HashStats)
+	}
+	st.labels = make([]uint32, n)
+	st.processed = make([]uint32, n)
+	for i := range st.labels {
+		st.labels[i] = uint32(i)
+	}
+	if opt.CrossCheckEvery > 0 {
+		st.prev = make([]uint32, n)
+	}
+
+	const chunk = 1024
+	start := time.Now()
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		iterStart := time.Now()
+		st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
+		crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
+		atomic.StoreInt64(&st.deltaN, 0)
+		atomic.StoreInt64(&st.reverts, 0)
+		if crosscheck {
+			copy(st.prev, st.labels)
+		}
+
+		var cursor int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cand := make([]uint32, chunk)
+				var local int64
+				for {
+					c := atomic.AddInt64(&cursor, chunk) - chunk
+					if c >= int64(n) {
+						break
+					}
+					hi := c + chunk
+					if hi > int64(n) {
+						hi = int64(n)
+					}
+					// Two-phase, like one SIMT block: compute every
+					// candidate in the chunk against a pre-move snapshot,
+					// then apply the moves. Fully asynchronous chunk-local
+					// sweeps would let Pick-Less iterations cascade one
+					// small label across a community in a single pass.
+					for v := c; v < hi; v++ {
+						cand[v-c] = candidateDirect(st, graph.Vertex(v))
+					}
+					for v := c; v < hi; v++ {
+						if applyMoveDirect(st, graph.Vertex(v), cand[v-c]) {
+							local++
+						}
+					}
+				}
+				atomic.AddInt64(&st.deltaN, local)
+			}()
+		}
+		wg.Wait()
+
+		if crosscheck {
+			crossCheckDirect(st, workers)
+		}
+
+		delta := atomic.LoadInt64(&st.deltaN) - atomic.LoadInt64(&st.reverts)
+		res.Moves += delta
+		res.Reverts += atomic.LoadInt64(&st.reverts)
+		res.DeltaHistory = append(res.DeltaHistory, delta)
+		res.Trace = append(res.Trace, IterStat{
+			PickLess:   st.pickless,
+			CrossCheck: crosscheck,
+			Moves:      atomic.LoadInt64(&st.deltaN),
+			Reverts:    atomic.LoadInt64(&st.reverts),
+			Duration:   time.Since(iterStart),
+		})
+		res.Iterations = iter + 1
+		if !st.pickless && float64(delta) < opt.Tolerance*float64(n) {
+			res.Converged = true
+			break
+		}
+		if delta == 0 && opt.PickLessEvery == 1 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	res.Labels = st.labels
+	return res, nil
+}
+
+// candidateDirect computes a vertex's most weighted neighbouring label, or
+// hashtable.EmptyKey when the vertex is skipped (pruned or isolated).
+func candidateDirect(st *runState, i graph.Vertex) uint32 {
+	if !st.noPrune && simt.AtomicLoadUint32(st.processed, int(i)) == 1 {
+		return hashtable.EmptyKey
+	}
+	deg := st.g.Degree(i)
+	if deg == 0 {
+		return hashtable.EmptyKey
+	}
+	if !st.noPrune {
+		simt.AtomicStoreUint32(st.processed, int(i), 1)
+	}
+	tb := st.arena.tableFor(st.g.Offset(i), deg)
+	tb.clear(0, 1)
+	ts, ws := st.g.Neighbors(i)
+	for idx, j := range ts {
+		if j == i {
+			continue
+		}
+		cj := simt.AtomicLoadUint32(st.labels, int(j))
+		tb.accumulate(cj, float64(ws[idx]), false)
+	}
+	c, _, ok := tb.best()
+	if !ok {
+		return hashtable.EmptyKey
+	}
+	return c
+}
+
+// applyMoveDirect commits a candidate move under the Pick-Less rule and
+// wakes the neighbourhood; reports whether the label changed.
+func applyMoveDirect(st *runState, i graph.Vertex, c uint32) bool {
+	if c == hashtable.EmptyKey {
+		return false
+	}
+	cur := simt.AtomicLoadUint32(st.labels, int(i))
+	if c == cur || (st.pickless && c > cur) {
+		return false
+	}
+	simt.AtomicStoreUint32(st.labels, int(i), c)
+	ts, _ := st.g.Neighbors(i)
+	for _, j := range ts {
+		simt.AtomicStoreUint32(st.processed, int(j), 0)
+	}
+	return true
+}
+
+// crossCheckDirect applies the Cross-Check revert pass with a parallel
+// chunked loop.
+func crossCheckDirect(st *runState, workers int) {
+	n := len(st.labels)
+	const chunk = 4096
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			for {
+				c := atomic.AddInt64(&cursor, chunk) - chunk
+				if c >= int64(n) {
+					break
+				}
+				hi := c + chunk
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for i := c; i < hi; i++ {
+					cur := simt.AtomicLoadUint32(st.labels, int(i))
+					if cur == st.prev[i] {
+						continue
+					}
+					leader := simt.AtomicLoadUint32(st.labels, int(cur))
+					if leader != cur {
+						simt.AtomicStoreUint32(st.labels, int(i), st.prev[i])
+						simt.AtomicStoreUint32(st.processed, int(i), 0)
+						local++
+					}
+				}
+			}
+			atomic.AddInt64(&st.reverts, local)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,143 @@
+// Package nulpa implements ν-LPA, the paper's GPU Label Propagation
+// Algorithm for community detection (Algorithms 1 and 2): asynchronous LPA
+// with the Pick-Less swap-mitigation method every ρ iterations, per-vertex
+// open-addressing hashtables with hybrid quadratic-double probing, vertex
+// pruning, and a two-kernel split between low-degree (thread-per-vertex) and
+// high-degree (block-per-vertex) vertices.
+//
+// Two backends execute the identical algorithm:
+//
+//   - BackendSIMT runs it on the simulated GPU (package simt), preserving
+//     lockstep semantics — this is the configuration every figure experiment
+//     uses, because the community-swap pathology only exists under lockstep.
+//   - BackendDirect runs it as a plain multicore parallel loop, used to time
+//     ν-LPA against CPU baselines without paying the simulation overhead.
+package nulpa
+
+import (
+	"time"
+
+	"nulpa/internal/hashtable"
+	"nulpa/internal/simt"
+)
+
+// Backend selects the execution engine.
+type Backend int
+
+const (
+	// BackendSIMT executes on the simulated GPU with lockstep phases.
+	BackendSIMT Backend = iota
+	// BackendDirect executes as a chunked multicore parallel loop.
+	BackendDirect
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == BackendDirect {
+		return "direct"
+	}
+	return "simt"
+}
+
+// Options configure a ν-LPA run. DefaultOptions matches the paper's final
+// configuration.
+type Options struct {
+	// MaxIterations caps label-propagation iterations (paper: 20).
+	MaxIterations int
+	// Tolerance is the per-iteration convergence threshold τ: the run
+	// stops once ΔN/N < τ in a non-pick-less iteration (paper: 0.05).
+	Tolerance float64
+	// PickLessEvery is ρ: iterations l with l mod ρ == 0 restrict moves to
+	// strictly smaller labels (paper: 4). 0 disables Pick-Less.
+	PickLessEvery int
+	// CrossCheckEvery enables the Cross-Check method with the given
+	// period: after iterations l with l mod period == 0, "bad" community
+	// changes (new community whose leader left) are reverted. 0 disables.
+	CrossCheckEvery int
+	// Probing selects hashtable collision resolution (paper:
+	// quadratic-double).
+	Probing hashtable.Probing
+	// ValueKind selects hashtable value width (paper: float32).
+	ValueKind hashtable.ValueKind
+	// Coalesced switches to the coalesced-chaining hashtable (appendix
+	// figure); Probing is ignored when set.
+	Coalesced bool
+	// SwitchDegree splits work between kernels: vertices with degree
+	// strictly below it go to the thread-per-vertex kernel, the rest to
+	// the block-per-vertex kernel (paper: 32).
+	SwitchDegree int
+	// BlockDim is threads per block for both kernels (default 256).
+	BlockDim int
+	// Backend selects the execution engine (default BackendSIMT).
+	Backend Backend
+	// Device is the simulated GPU; nil selects a fresh default device.
+	// Ignored by BackendDirect.
+	Device *simt.Device
+	// Workers bounds BackendDirect parallelism; 0 selects GOMAXPROCS.
+	Workers int
+	// TrackStats attaches hashtable probe accounting to the run.
+	TrackStats bool
+	// DisablePruning turns off the vertex-pruning optimization (every
+	// vertex is processed every iteration) — the ablation for the paper's
+	// feature (4) in §4.
+	DisablePruning bool
+}
+
+// DefaultOptions returns the paper's published configuration: 20 iterations,
+// τ = 0.05, Pick-Less every 4 iterations, quadratic-double probing, float32
+// values, switch degree 32.
+func DefaultOptions() Options {
+	return Options{
+		MaxIterations: 20,
+		Tolerance:     0.05,
+		PickLessEvery: 4,
+		Probing:       hashtable.QuadraticDouble,
+		ValueKind:     hashtable.Float32,
+		SwitchDegree:  32,
+		BlockDim:      256,
+		Backend:       BackendSIMT,
+	}
+}
+
+// IterStat is one iteration's diagnostic record.
+type IterStat struct {
+	// PickLess reports whether the Pick-Less restriction was active.
+	PickLess bool
+	// CrossCheck reports whether a Cross-Check pass ran.
+	CrossCheck bool
+	// Moves is the gross label-change count (before reverts).
+	Moves int64
+	// Reverts is the Cross-Check revert count.
+	Reverts int64
+	// Duration is the iteration's wall time.
+	Duration time.Duration
+}
+
+// Result reports a completed ν-LPA run.
+type Result struct {
+	// Labels is the community membership of each vertex.
+	Labels []uint32
+	// Iterations actually performed.
+	Iterations int
+	// Converged reports whether the tolerance test stopped the run (false
+	// when MaxIterations was exhausted — the paper's symptom of unmitigated
+	// community swaps).
+	Converged bool
+	// Moves is the total number of label changes, net of Cross-Check
+	// reverts.
+	Moves int64
+	// Reverts is the number of Cross-Check reverts performed.
+	Reverts int64
+	// DeltaHistory records net changed-vertex counts per iteration.
+	DeltaHistory []int64
+	// Trace records per-iteration diagnostics (always populated; one entry
+	// per iteration).
+	Trace []IterStat
+	// HashStats holds probe accounting when Options.TrackStats was set.
+	HashStats *hashtable.Stats
+	// Duration is the wall time of the propagation loop (excluding graph
+	// loading, including kernel launches).
+	Duration time.Duration
+	// DeviceBytes is the simulated device memory the run reserved.
+	DeviceBytes int64
+}

@@ -1,0 +1,215 @@
+// Package partition implements balanced k-way graph partitioning with
+// size-constrained label propagation — the application the paper's
+// conclusion singles out ("the applicability of ν-LPA for
+// performance-critical applications, such as partitioning of large graphs.
+// We plan to look into this in the future") and the technique behind the
+// LPA-based partitioners its related-work section surveys (PuLP, SCLaP,
+// XtraPuLP).
+//
+// The algorithm is LPA with two changes: the label universe is the k parts
+// (not the vertices), and a move is admitted only while the destination
+// part stays under its capacity (1+ε)·N/k. Moves are processed in parallel
+// chunks with atomic capacity accounting, so the balance constraint holds
+// exactly at all times.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nulpa/internal/graph"
+	"nulpa/internal/quality"
+)
+
+// Options configure a partitioning run.
+type Options struct {
+	// Parts is k, the number of parts (≥ 1).
+	Parts int
+	// Imbalance is ε: each part holds at most (1+ε)·⌈N/k⌉ vertices
+	// (default 0.05).
+	Imbalance float64
+	// MaxIterations caps refinement sweeps (default 20).
+	MaxIterations int
+	// Tolerance stops refinement once fewer than Tolerance·N vertices move
+	// in a sweep (default 0.001).
+	Tolerance float64
+	// Seed drives the initial assignment shuffle.
+	Seed int64
+	// Workers bounds parallelism; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns a PuLP-like configuration.
+func DefaultOptions(parts int) Options {
+	return Options{Parts: parts, Imbalance: 0.05, MaxIterations: 20, Tolerance: 0.001, Seed: 1}
+}
+
+// Result reports a completed partitioning run.
+type Result struct {
+	// Parts maps each vertex to a part in [0, k).
+	Parts []uint32
+	// CutWeight is the total weight of arcs crossing parts (each
+	// undirected edge counted twice).
+	CutWeight float64
+	// CutFraction is CutWeight over total arc weight.
+	CutFraction float64
+	// Imbalance is max part size over the ideal ⌈N/k⌉, minus 1.
+	Imbalance  float64
+	Iterations int
+	Converged  bool
+	Duration   time.Duration
+}
+
+// Partition computes a balanced k-way partition of g.
+func Partition(g *graph.CSR, opt Options) (*Result, error) {
+	n := g.NumVertices()
+	k := opt.Parts
+	if k < 1 {
+		return nil, fmt.Errorf("partition: Parts = %d, want >= 1", k)
+	}
+	if opt.Imbalance < 0 {
+		return nil, fmt.Errorf("partition: negative Imbalance %g", opt.Imbalance)
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 20
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if k > n && n > 0 {
+		k = n
+	}
+	res := &Result{}
+	if n == 0 {
+		res.Parts = []uint32{}
+		return res, nil
+	}
+
+	ideal := (n + k - 1) / k
+	// Capacity rounds up and always leaves at least one slot of slack over
+	// the ideal size: with parts exactly full no move can ever be admitted
+	// and refinement would freeze at the random initial assignment.
+	capacity := int64(math.Ceil(float64(ideal) * (1 + opt.Imbalance)))
+	if capacity <= int64(ideal) {
+		capacity = int64(ideal) + 1
+	}
+
+	// Initial assignment: contiguous blocks of a shuffled vertex order —
+	// balanced by construction, randomized by seed.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	order := rng.Perm(n)
+	parts := make([]uint32, n)
+	sizes := make([]int64, k)
+	for idx, v := range order {
+		p := uint32(idx / ideal)
+		if int(p) >= k {
+			p = uint32(k - 1)
+		}
+		parts[v] = p
+		sizes[p]++
+	}
+
+	start := time.Now()
+	const chunk = 1024
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		var moves int64
+		var cursor int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn := make([]float64, k)
+				touched := make([]uint32, 0, 16)
+				var local int64
+				for {
+					c := atomic.AddInt64(&cursor, chunk) - chunk
+					if c >= int64(n) {
+						break
+					}
+					hi := c + chunk
+					if hi > int64(n) {
+						hi = int64(n)
+					}
+					for v := c; v < hi; v++ {
+						if moveVertex(g, graph.Vertex(v), parts, sizes, conn, &touched, capacity) {
+							local++
+						}
+					}
+				}
+				atomic.AddInt64(&moves, local)
+			}()
+		}
+		wg.Wait()
+		res.Iterations = iter + 1
+		if float64(moves) < opt.Tolerance*float64(n) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	res.Parts = parts
+	res.CutWeight, res.CutFraction = quality.EdgeCut(g, parts)
+	var maxSize int64
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	res.Imbalance = float64(maxSize)/float64(ideal) - 1
+	return res, nil
+}
+
+// moveVertex relocates v to its most connected part if the move reduces cut
+// and respects capacity. Capacity accounting is atomic: the destination slot
+// is reserved before the move commits, and released if the reservation
+// overshoots.
+func moveVertex(g *graph.CSR, v graph.Vertex, parts []uint32, sizes []int64,
+	conn []float64, touched *[]uint32, capacity int64) bool {
+	ts, ws := g.Neighbors(v)
+	if len(ts) == 0 {
+		return false
+	}
+	*touched = (*touched)[:0]
+	for i, j := range ts {
+		if j == v {
+			continue
+		}
+		p := atomicLoadU32(parts, int(j))
+		if conn[p] == 0 {
+			*touched = append(*touched, p)
+		}
+		conn[p] += float64(ws[i])
+	}
+	cur := atomicLoadU32(parts, int(v))
+	best, bestW := cur, conn[cur]
+	for _, p := range *touched {
+		if conn[p] > bestW {
+			best, bestW = p, conn[p]
+		}
+	}
+	// Reset the accumulator for the next vertex.
+	for _, p := range *touched {
+		conn[p] = 0
+	}
+	if best == cur {
+		return false
+	}
+	// Reserve a slot in the destination part.
+	if atomic.AddInt64(&sizes[best], 1) > capacity {
+		atomic.AddInt64(&sizes[best], -1)
+		return false
+	}
+	atomic.AddInt64(&sizes[cur], -1)
+	atomicStoreU32(parts, int(v), best)
+	return true
+}
+
+func atomicLoadU32(p []uint32, i int) uint32     { return atomic.LoadUint32(&p[i]) }
+func atomicStoreU32(p []uint32, i int, v uint32) { atomic.StoreUint32(&p[i], v) }

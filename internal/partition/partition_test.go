@@ -1,0 +1,190 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nulpa/internal/gen"
+	"nulpa/internal/graph"
+	"nulpa/internal/quality"
+)
+
+func TestPartitionBasics(t *testing.T) {
+	g := gen.Road(gen.DefaultRoad(4000, 3))
+	res, err := Partition(g, DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != g.NumVertices() {
+		t.Fatalf("parts length %d", len(res.Parts))
+	}
+	for v, p := range res.Parts {
+		if p >= 8 {
+			t.Fatalf("vertex %d in part %d", v, p)
+		}
+	}
+}
+
+func TestBalanceConstraintHolds(t *testing.T) {
+	g := gen.Web(gen.DefaultWeb(3000, 6, 5))
+	opt := DefaultOptions(7)
+	opt.Imbalance = 0.03
+	res, err := Partition(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[uint32]int{}
+	for _, p := range res.Parts {
+		sizes[p]++
+	}
+	ideal := (g.NumVertices() + 6) / 7
+	// Capacity is ceil((1+eps)*ideal) with at least one slot of slack.
+	limit := int(math.Ceil(float64(ideal) * 1.03))
+	if limit <= ideal {
+		limit = ideal + 1
+	}
+	for p, s := range sizes {
+		if s > limit {
+			t.Errorf("part %d has %d vertices, limit %d", p, s, limit)
+		}
+	}
+	if res.Imbalance > float64(limit)/float64(ideal)-1+1e-9 {
+		t.Errorf("reported imbalance %.4f over bound", res.Imbalance)
+	}
+}
+
+func TestCutBeatsRandom(t *testing.T) {
+	g := gen.Road(gen.DefaultRoad(5000, 9))
+	res, err := Partition(g, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	random := make([]uint32, g.NumVertices())
+	for i := range random {
+		random[i] = uint32(rng.Intn(4))
+	}
+	_, randomFrac := quality.EdgeCut(g, random)
+	if res.CutFraction >= randomFrac/2 {
+		t.Errorf("LPA cut %.3f not clearly better than random %.3f", res.CutFraction, randomFrac)
+	}
+}
+
+func TestSinglePart(t *testing.T) {
+	g := gen.Cycle(50)
+	res, err := Partition(g, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutWeight != 0 {
+		t.Errorf("k=1 cut = %g", res.CutWeight)
+	}
+	for _, p := range res.Parts {
+		if p != 0 {
+			t.Fatal("k=1 produced part != 0")
+		}
+	}
+}
+
+func TestMorePartsThanVertices(t *testing.T) {
+	g := gen.Cycle(5)
+	res, err := Partition(g, DefaultOptions(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Parts {
+		if int(p) >= 5 {
+			t.Fatalf("part %d out of clamped range", p)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := gen.MatchedPairs(0)
+	res, err := Partition(g, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 0 {
+		t.Errorf("parts = %v", res.Parts)
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	g := gen.Cycle(10)
+	if _, err := Partition(g, Options{Parts: 0}); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := Partition(g, Options{Parts: 2, Imbalance: -1}); err == nil {
+		t.Error("accepted negative imbalance")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := gen.Road(gen.DefaultRoad(1500, 4))
+	opt := DefaultOptions(4)
+	opt.Workers = 1
+	a, err := Partition(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			t.Fatal("same seed, single worker: different partitions")
+		}
+	}
+}
+
+func TestRefinementImprovesOverInitial(t *testing.T) {
+	g := gen.Road(gen.DefaultRoad(4000, 7))
+	// Zero iterations = the random initial assignment.
+	optInit := DefaultOptions(8)
+	optInit.MaxIterations = 1
+	optInit.Tolerance = 1 // stop immediately after the first sweep? No: Tolerance only checked post-sweep.
+	initRes, err := Partition(g, optInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Partition(g, DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CutFraction > initRes.CutFraction {
+		t.Errorf("more refinement worsened cut: %.3f vs %.3f", full.CutFraction, initRes.CutFraction)
+	}
+}
+
+func TestWeightedCutRespected(t *testing.T) {
+	// A barbell with a heavy internal clique on each side and a light
+	// bridge: the partitioner must cut the bridge, not the cliques.
+	var edges []graph.Edge
+	for side := 0; side < 2; side++ {
+		base := graph.Vertex(10 * side)
+		for i := graph.Vertex(0); i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				edges = append(edges, graph.Edge{U: base + i, V: base + j, W: 10})
+			}
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: 10, W: 1})
+	g, err := graph.FromEdges(edges, 20, graph.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the bridge should be cut: weight 2 of 902 total arcs weight.
+	if res.CutWeight > 2+1e-9 {
+		t.Errorf("cut weight %g, want 2 (the bridge only)", res.CutWeight)
+	}
+	if res.Parts[0] == res.Parts[10] {
+		t.Error("the two cliques share a part")
+	}
+}

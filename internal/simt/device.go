@@ -1,0 +1,218 @@
+// Package simt is a software model of the SIMT execution hardware the paper
+// runs on (an NVIDIA A100): streaming multiprocessors (SMs), thread blocks,
+// warps of 32 lanes executing in lockstep, block-level synchronization,
+// shared memory, and global-memory atomics.
+//
+// # Execution model
+//
+// Kernels are expressed as a sequence of phases. Within a block, the engine
+// runs phase p for every lane — warp by warp, in lane order — before any lane
+// starts phase p+1. Phase boundaries therefore behave exactly like
+// __syncthreads(), and within a phase all lanes of a warp observe memory as
+// of the previous boundary's completion, i.e. lockstep. This is the property
+// that makes label swaps between symmetric vertices deterministic on a GPU
+// (both read each other's old label, then both write), and it is reproduced
+// here by construction, not by accident of goroutine scheduling.
+//
+// Blocks are assigned to SMs statically — block b runs on SM b mod NumSMs,
+// mirroring the ID-based SM assignment the paper calls out — and the SMs run
+// concurrently as goroutines, so cross-block interleaving is asynchronous,
+// as on real hardware. Global-memory atomics (see atomics.go) are the only
+// safe cross-block communication, exactly as in CUDA.
+package simt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WarpSize is the number of lanes that execute in lockstep, matching NVIDIA
+// hardware.
+const WarpSize = 32
+
+// Device models one GPU: a set of SMs that execute thread blocks, and a
+// global-memory capacity used to reproduce the paper's out-of-memory
+// failures (ν-LPA cannot process sk-2005 on an 80 GB A100).
+type Device struct {
+	// NumSMs is the number of concurrently executing streaming
+	// multiprocessors. The A100 has 108; the default here is the host
+	// parallelism, which plays the same architectural role.
+	NumSMs int
+	// MemBudget is the simulated global-memory capacity in bytes;
+	// 0 means unlimited.
+	MemBudget int64
+
+	memUsed int64 // atomic
+
+	// Launch statistics, updated atomically; useful in tests and reports.
+	BlocksRun  atomic.Int64
+	PhasesRun  atomic.Int64
+	LanesRun   atomic.Int64
+	KernelsRun atomic.Int64
+}
+
+// NewDevice returns a Device with n SMs (n <= 0 selects GOMAXPROCS) and no
+// memory budget.
+func NewDevice(n int) *Device {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Device{NumSMs: n}
+}
+
+// ErrOutOfMemory is returned by Alloc when a reservation would exceed the
+// device's memory budget.
+var ErrOutOfMemory = fmt.Errorf("simt: device out of memory")
+
+// Alloc reserves bytes of simulated device memory. It fails with
+// ErrOutOfMemory when the budget would be exceeded. Allocation is advisory —
+// the engine does not own the backing Go slices — but lets higher layers
+// reproduce the paper's OOM behaviour deterministically.
+func (d *Device) Alloc(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("simt: negative allocation %d", bytes)
+	}
+	for {
+		used := atomic.LoadInt64(&d.memUsed)
+		if d.MemBudget > 0 && used+bytes > d.MemBudget {
+			return fmt.Errorf("%w: want %d bytes, %d of %d in use",
+				ErrOutOfMemory, bytes, used, d.MemBudget)
+		}
+		if atomic.CompareAndSwapInt64(&d.memUsed, used, used+bytes) {
+			return nil
+		}
+	}
+}
+
+// Free releases bytes of simulated device memory.
+func (d *Device) Free(bytes int64) {
+	if n := atomic.AddInt64(&d.memUsed, -bytes); n < 0 {
+		atomic.StoreInt64(&d.memUsed, 0)
+	}
+}
+
+// MemUsed reports the bytes currently reserved.
+func (d *Device) MemUsed() int64 { return atomic.LoadInt64(&d.memUsed) }
+
+// Kernel is a lockstep phase kernel. The engine calls Phase(p, t) for every
+// lane of a block before any lane proceeds to phase p+1; see the package
+// comment for the exact semantics. Per-lane state that must survive across
+// phases belongs in arrays indexed by t.GlobalID(), which is how registers
+// spilled to local memory behave on hardware.
+type Kernel interface {
+	// NumPhases returns how many lockstep phases the kernel has. It is
+	// called once per launch.
+	NumPhases() int
+	// Phase executes phase p for the lane described by t.
+	Phase(p int, t *Thread)
+}
+
+// SharedKernel is implemented by kernels that want block-shared memory. The
+// engine zeroes the arena before each block starts.
+type SharedKernel interface {
+	Kernel
+	// SharedUint64s returns the per-block shared-memory arena size in
+	// 64-bit words.
+	SharedUint64s() int
+}
+
+// Thread describes one lane's coordinates during a phase call.
+type Thread struct {
+	Block    int // block index within the grid
+	Lane     int // thread index within the block (threadIdx.x)
+	BlockDim int // threads per block
+	GridDim  int // blocks in the grid
+	SM       int // streaming multiprocessor executing the block
+	Shared   []uint64
+}
+
+// GlobalID returns the global thread index: Block*BlockDim + Lane.
+func (t *Thread) GlobalID() int { return t.Block*t.BlockDim + t.Lane }
+
+// Warp returns the warp index of the lane within its block.
+func (t *Thread) Warp() int { return t.Lane / WarpSize }
+
+// Launch runs kernel k on a grid of gridDim blocks of blockDim threads and
+// blocks until every thread block has finished (cudaDeviceSynchronize
+// semantics). gridDim or blockDim of zero is a no-op.
+func (d *Device) Launch(gridDim, blockDim int, k Kernel) {
+	if gridDim <= 0 || blockDim <= 0 {
+		return
+	}
+	d.KernelsRun.Add(1)
+	phases := k.NumPhases()
+	sharedWords := 0
+	if sk, ok := k.(SharedKernel); ok {
+		sharedWords = sk.SharedUint64s()
+	}
+	nSM := d.NumSMs
+	if nSM > gridDim {
+		nSM = gridDim
+	}
+	var wg sync.WaitGroup
+	for sm := 0; sm < nSM; sm++ {
+		wg.Add(1)
+		go func(sm int) {
+			defer wg.Done()
+			var shared []uint64
+			if sharedWords > 0 {
+				shared = make([]uint64, sharedWords)
+			}
+			t := Thread{BlockDim: blockDim, GridDim: gridDim, SM: sm, Shared: shared}
+			var blocks, lanes, phasesRun int64
+			for b := sm; b < gridDim; b += d.NumSMs {
+				for i := range shared {
+					shared[i] = 0
+				}
+				t.Block = b
+				for p := 0; p < phases; p++ {
+					for lane := 0; lane < blockDim; lane++ {
+						t.Lane = lane
+						k.Phase(p, &t)
+					}
+					phasesRun++
+					lanes += int64(blockDim)
+				}
+				blocks++
+			}
+			d.BlocksRun.Add(blocks)
+			d.PhasesRun.Add(phasesRun)
+			d.LanesRun.Add(lanes)
+		}(sm)
+	}
+	wg.Wait()
+}
+
+// Launch1D runs k with enough blocks of blockDim threads to cover total
+// threads; lanes beyond total still run (as on hardware) and must bounds-
+// check with GlobalID().
+func (d *Device) Launch1D(total, blockDim int, k Kernel) {
+	if total <= 0 {
+		return
+	}
+	grid := (total + blockDim - 1) / blockDim
+	d.Launch(grid, blockDim, k)
+}
+
+// PhaseFunc adapts a function to a multi-phase Kernel.
+type PhaseFunc struct {
+	Phases int
+	F      func(p int, t *Thread)
+}
+
+// NumPhases implements Kernel.
+func (k PhaseFunc) NumPhases() int { return k.Phases }
+
+// Phase implements Kernel.
+func (k PhaseFunc) Phase(p int, t *Thread) { k.F(p, t) }
+
+// SharedPhaseFunc adapts a function to a SharedKernel.
+type SharedPhaseFunc struct {
+	PhaseFunc
+	Words int
+}
+
+// SharedUint64s implements SharedKernel.
+func (k SharedPhaseFunc) SharedUint64s() int { return k.Words }

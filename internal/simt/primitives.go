@@ -1,0 +1,127 @@
+package simt
+
+// Device-wide parallel primitives built on the phase-kernel model: the
+// standard GPU toolkit (map, reduce, exclusive scan, stream compaction,
+// histogram) that block-per-vertex style algorithms are assembled from.
+// Each primitive is itself a kernel launch (or a short sequence of them), so
+// they execute with the same lockstep semantics as user kernels and serve as
+// both building blocks and engine validation.
+
+// ForEach runs f(i) for every i in [0, n) across the device.
+func ForEach(d *Device, n, blockDim int, f func(i int)) {
+	d.Launch1D(n, blockDim, PhaseFunc{Phases: 1, F: func(_ int, t *Thread) {
+		if i := t.GlobalID(); i < n {
+			f(i)
+		}
+	}})
+}
+
+// ReduceInt64 computes the sum of xs on the device: each block reduces its
+// tile through shared memory, then block results are combined atomically —
+// the canonical two-level GPU reduction.
+func ReduceInt64(d *Device, xs []int64, blockDim int) int64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	var total int64
+	totalSlice := []int64{0}
+	k := SharedPhaseFunc{
+		Words: 1,
+		PhaseFunc: PhaseFunc{Phases: 2, F: func(p int, t *Thread) {
+			switch p {
+			case 0:
+				if i := t.GlobalID(); i < n {
+					SharedAtomicAddUint64(t.Shared, 0, uint64(xs[i]))
+				}
+			case 1:
+				if t.Lane == 0 {
+					AtomicAddInt64(totalSlice, 0, int64(t.Shared[0]))
+				}
+			}
+		}},
+	}
+	d.Launch1D(n, blockDim, k)
+	total = totalSlice[0]
+	return total
+}
+
+// ExclusiveScan computes the exclusive prefix sum of xs into a new slice,
+// using the block-scan + block-offsets + uniform-add scheme. The offsets
+// pass is sequential (it is O(numBlocks)), exactly as a real implementation
+// would run a single-block scan kernel over block sums.
+func ExclusiveScan(d *Device, xs []int64, blockDim int) []int64 {
+	n := len(xs)
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	numBlocks := (n + blockDim - 1) / blockDim
+	blockSums := make([]int64, numBlocks)
+
+	// Pass 1: per-block sequential scan by lane 0 (lockstep phases make a
+	// work-efficient tree scan possible but not clearer; tile-local order
+	// is what matters for correctness).
+	d.Launch(numBlocks, blockDim, PhaseFunc{Phases: 1, F: func(_ int, t *Thread) {
+		if t.Lane != 0 {
+			return
+		}
+		base := t.Block * t.BlockDim
+		var acc int64
+		for i := 0; i < t.BlockDim && base+i < n; i++ {
+			out[base+i] = acc
+			acc += xs[base+i]
+		}
+		blockSums[t.Block] = acc
+	}})
+
+	// Pass 2: scan of block sums (single "block" on the host side).
+	var acc int64
+	for b := 0; b < numBlocks; b++ {
+		s := blockSums[b]
+		blockSums[b] = acc
+		acc += s
+	}
+
+	// Pass 3: uniform add of each block's offset.
+	d.Launch(numBlocks, blockDim, PhaseFunc{Phases: 1, F: func(_ int, t *Thread) {
+		if i := t.GlobalID(); i < n {
+			out[i] += blockSums[t.Block]
+		}
+	}})
+	return out
+}
+
+// Compact copies the indices i in [0, n) with keep(i) into a dense output
+// slice, preserving order — GPU stream compaction via flags + exclusive
+// scan + scatter. Returns the compacted indices.
+func Compact(d *Device, n, blockDim int, keep func(i int) bool) []int {
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int64, n)
+	ForEach(d, n, blockDim, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	pos := ExclusiveScan(d, flags, blockDim)
+	total := pos[n-1] + flags[n-1]
+	out := make([]int, total)
+	ForEach(d, n, blockDim, func(i int) {
+		if flags[i] == 1 {
+			out[pos[i]] = i
+		}
+	})
+	return out
+}
+
+// Histogram counts, for each i in [0, n), the bin bin(i) < bins, using
+// global atomic adds.
+func Histogram(d *Device, n, bins, blockDim int, bin func(i int) int) []uint32 {
+	h := make([]uint32, bins)
+	ForEach(d, n, blockDim, func(i int) {
+		AtomicAddUint32(h, bin(i), 1)
+	})
+	return h
+}

@@ -1,0 +1,116 @@
+package simt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversRange(t *testing.T) {
+	d := NewDevice(4)
+	n := 1000
+	hit := make([]int64, n)
+	ForEach(d, n, 64, func(i int) { AtomicAddInt64(hit, i, 1) })
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	d := NewDevice(4)
+	xs := make([]int64, 10000)
+	var want int64
+	rng := rand.New(rand.NewSource(3))
+	for i := range xs {
+		xs[i] = int64(rng.Intn(100) - 50)
+		want += xs[i]
+	}
+	if got := ReduceInt64(d, xs, 128); got != want {
+		t.Fatalf("reduce = %d, want %d", got, want)
+	}
+	if got := ReduceInt64(d, nil, 128); got != 0 {
+		t.Fatalf("reduce(nil) = %d", got)
+	}
+}
+
+func TestExclusiveScanMatchesOracle(t *testing.T) {
+	d := NewDevice(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(10))
+		}
+		got := ExclusiveScan(d, xs, 64)
+		var acc int64
+		for i := 0; i < n; i++ {
+			if got[i] != acc {
+				return false
+			}
+			acc += xs[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExclusiveScanBlockBoundaries(t *testing.T) {
+	d := NewDevice(2)
+	// n exactly at, below, and above block multiples.
+	for _, n := range []int{63, 64, 65, 128, 129} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = 1
+		}
+		got := ExclusiveScan(d, xs, 64)
+		for i := 0; i < n; i++ {
+			if got[i] != int64(i) {
+				t.Fatalf("n=%d: scan[%d] = %d, want %d", n, i, got[i], i)
+			}
+		}
+	}
+}
+
+func TestCompact(t *testing.T) {
+	d := NewDevice(4)
+	n := 1000
+	got := Compact(d, n, 64, func(i int) bool { return i%3 == 0 })
+	if len(got) != (n+2)/3 {
+		t.Fatalf("compacted %d indices, want %d", len(got), (n+2)/3)
+	}
+	for k, i := range got {
+		if i != 3*k {
+			t.Fatalf("out[%d] = %d, want %d (order not preserved)", k, i, 3*k)
+		}
+	}
+	if out := Compact(d, 0, 64, func(int) bool { return true }); out != nil {
+		t.Errorf("Compact(0) = %v", out)
+	}
+	if out := Compact(d, 100, 64, func(int) bool { return false }); len(out) != 0 {
+		t.Errorf("Compact(none) kept %d", len(out))
+	}
+}
+
+func TestHistogramPrimitive(t *testing.T) {
+	d := NewDevice(4)
+	h := Histogram(d, 1000, 7, 64, func(i int) int { return i % 7 })
+	var total uint32
+	for b, c := range h {
+		total += c
+		want := uint32(1000 / 7)
+		if b < 1000%7 {
+			want++
+		}
+		if c != want {
+			t.Fatalf("bin %d = %d, want %d", b, c, want)
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("total = %d", total)
+	}
+}

@@ -1,0 +1,176 @@
+package variants
+
+import (
+	"sort"
+	"time"
+
+	"nulpa/internal/graph"
+)
+
+// COPRAOptions configure Community Overlap PRopagation (Gregory 2010).
+type COPRAOptions struct {
+	// MaxLabels is v, the per-vertex label capacity: a vertex can belong
+	// to at most v communities; labels with belonging coefficient below
+	// 1/v are discarded each round.
+	MaxLabels int
+	// MaxIterations caps propagation rounds.
+	MaxIterations int
+}
+
+// DefaultCOPRAOptions returns the reference configuration (v = 2 behaves
+// like near-disjoint detection, the fair setting against plain LPA).
+func DefaultCOPRAOptions() COPRAOptions { return COPRAOptions{MaxLabels: 2, MaxIterations: 30} }
+
+// COPRAResult reports a completed COPRA run.
+type COPRAResult struct {
+	// Labels is the label with the highest belonging coefficient per
+	// vertex.
+	Labels []uint32
+	// Belonging is each vertex's label→coefficient map (coefficients sum
+	// to 1 per vertex).
+	Belonging  []map[uint32]float64
+	Iterations int
+	Converged  bool
+	Duration   time.Duration
+}
+
+// COPRA runs Community Overlap PRopagation: every vertex holds belonging
+// coefficients over labels; each round a vertex averages its neighbours'
+// coefficient vectors, discards labels below 1/v, renormalizes, and keeps at
+// most v labels. Terminates when the label universe stops shrinking and
+// per-vertex dominant labels are stable, or at MaxIterations.
+func COPRA(g *graph.CSR, opt COPRAOptions) *COPRAResult {
+	n := g.NumVertices()
+	if opt.MaxLabels <= 0 {
+		opt.MaxLabels = 2
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 30
+	}
+	threshold := 1 / float64(opt.MaxLabels)
+	cur := make([]map[uint32]float64, n)
+	next := make([]map[uint32]float64, n)
+	for v := 0; v < n; v++ {
+		cur[v] = map[uint32]float64{uint32(v): 1}
+		next[v] = map[uint32]float64{}
+	}
+	res := &COPRAResult{}
+	start := time.Now()
+	prevDominant := make([]uint32, n)
+	for it := 0; it < opt.MaxIterations; it++ {
+		for v := 0; v < n; v++ {
+			ts, ws := g.Neighbors(graph.Vertex(v))
+			out := next[v]
+			clear(out)
+			if len(ts) == 0 {
+				out[uint32(v)] = 1
+				continue
+			}
+			// Average over the closed neighbourhood: the vertex's own
+			// coefficients participate with unit weight. Gregory's
+			// formulation averages neighbours only, but on symmetric
+			// structures (e.g. a matched pair) that oscillates forever
+			// under synchronous updates; the self term is the standard
+			// stabilization and preserves the fixed points.
+			var totalW float64 = 1
+			for l, b := range cur[v] {
+				out[l] += b
+			}
+			for k, j := range ts {
+				if j == graph.Vertex(v) {
+					continue
+				}
+				w := float64(ws[k])
+				totalW += w
+				for l, b := range cur[j] {
+					out[l] += b * w
+				}
+			}
+			if totalW == 0 {
+				out[uint32(v)] = 1
+				continue
+			}
+			for l := range out {
+				out[l] /= totalW
+			}
+			filterBelonging(out, threshold, opt.MaxLabels, uint32(v))
+		}
+		cur, next = next, cur
+		res.Iterations = it + 1
+
+		stable := true
+		for v := 0; v < n; v++ {
+			d := dominantLabel(cur[v], uint32(v))
+			if d != prevDominant[v] {
+				stable = false
+			}
+			prevDominant[v] = d
+		}
+		if stable && it > 0 {
+			res.Converged = true
+			break
+		}
+	}
+	labels := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		labels[v] = dominantLabel(cur[v], uint32(v))
+	}
+	res.Labels = labels
+	res.Belonging = cur
+	res.Duration = time.Since(start)
+	return res
+}
+
+// filterBelonging drops labels below the threshold, keeps at most maxLabels
+// of the strongest, and renormalizes. If everything is filtered, the
+// strongest original label is kept (COPRA's "retain a random label among the
+// maxima" — made deterministic by preferring the strongest, then smallest).
+func filterBelonging(b map[uint32]float64, threshold float64, maxLabels int, self uint32) {
+	type lb struct {
+		l uint32
+		c float64
+	}
+	var all []lb
+	for l, c := range b {
+		all = append(all, lb{l, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].l < all[j].l
+	})
+	clear(b)
+	var sum float64
+	for i, e := range all {
+		if i >= maxLabels {
+			break
+		}
+		if e.c < threshold && i > 0 {
+			break
+		}
+		b[e.l] = e.c
+		sum += e.c
+	}
+	if len(b) == 0 && len(all) > 0 {
+		b[all[0].l] = 1
+		return
+	}
+	if sum > 0 {
+		for l := range b {
+			b[l] /= sum
+		}
+	}
+}
+
+// dominantLabel returns the label with the highest coefficient (ties:
+// smallest label), or self when the map is empty.
+func dominantLabel(b map[uint32]float64, self uint32) uint32 {
+	best, bestC := self, -1.0
+	for l, c := range b {
+		if c > bestC || (c == bestC && l < best) {
+			best, bestC = l, c
+		}
+	}
+	return best
+}
