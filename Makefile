@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the pre-commit gate: static vetting
+# plus the race-enabled short test suite (the telemetry layer's concurrent SM
+# reporting must stay race-clean).
+
+GO ?= go
+
+.PHONY: check build vet test test-full bench
+
+check: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race -short ./...
+
+# Full suite without the race detector (what CI tier-1 runs).
+test-full:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/bench/

@@ -26,6 +26,7 @@ func main() {
 		sms        = flag.Int("sms", 0, "simulated streaming multiprocessors (0 = host parallelism)")
 		graphs     = flag.String("graphs", "", "comma-separated dataset names (default: all of Table 1)")
 		out        = flag.String("o", "", "write markdown to this file instead of stdout")
+		jsonOut    = flag.String("json", "", "also write all tables (with per-iteration series) as JSON to this file")
 		verbose    = flag.Bool("v", false, "print per-cell progress to stderr")
 	)
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 
 	fmt.Fprintf(w, "# ν-LPA experiment results\n\nscale=%s reps=%d date=%s\n\n",
 		scale, *reps, time.Now().Format("2006-01-02"))
+	var all []bench.Table
 	for _, id := range ids {
 		start := time.Now()
 		tables, err := bench.Run(id, cfg)
@@ -71,6 +73,23 @@ func main() {
 		for _, t := range tables {
 			fmt.Fprint(w, t.Markdown())
 		}
+		all = append(all, tables...)
 		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, scale, *reps, all); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

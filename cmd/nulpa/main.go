@@ -30,6 +30,7 @@ import (
 	"nulpa/internal/plp"
 	"nulpa/internal/quality"
 	"nulpa/internal/simt"
+	"nulpa/internal/telemetry"
 	"nulpa/internal/variants"
 )
 
@@ -50,9 +51,17 @@ func main() {
 		sms       = flag.Int("sms", 0, "nulpa simt backend: simulated SMs (0 = host parallelism)")
 		membudget = flag.Int64("membudget", 0, "nulpa simt backend: device memory budget in bytes (0 = unlimited)")
 		writeTo   = flag.String("write-labels", "", "write 'vertex label' lines to this file")
-		trace     = flag.Bool("trace", false, "nulpa: print per-iteration diagnostics")
+		trace     = flag.Bool("trace", false, "print per-iteration telemetry as a table")
+		profileTo = flag.String("profile", "", "write a Chrome trace-event JSON (load in chrome://tracing) to this file")
 	)
 	flag.Parse()
+
+	// -trace and -profile render the same telemetry records, so they can
+	// never disagree: the recorder is attached whenever either is on.
+	var rec *telemetry.Recorder
+	if *trace || *profileTo != "" {
+		rec = telemetry.NewRecorder()
+	}
 
 	g, err := loadGraph(*graphPath, *genName, *n, *deg, *seed)
 	if err != nil {
@@ -66,6 +75,7 @@ func main() {
 	var dur time.Duration
 	var iters int
 	converged := "n/a"
+	var iterRecs []telemetry.IterRecord
 
 	switch *algo {
 	case "nulpa":
@@ -95,6 +105,10 @@ func main() {
 			opt.Device = simt.NewDevice(*sms)
 			opt.Device.MemBudget = *membudget
 		}
+		if rec != nil {
+			opt.Profiler = rec
+			opt.TrackStats = true
+		}
 		res, err := nulpa.Detect(g, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
@@ -102,28 +116,39 @@ func main() {
 		}
 		labels, dur, iters = res.Labels, res.Duration, res.Iterations
 		converged = fmt.Sprint(res.Converged)
-		if *trace {
-			fmt.Printf("%5s %6s %6s %9s %9s %12s\n", "iter", "PL", "CC", "moves", "reverts", "time")
-			for i, it := range res.Trace {
-				fmt.Printf("%5d %6v %6v %9d %9d %12v\n", i, it.PickLess, it.CrossCheck, it.Moves, it.Reverts, it.Duration.Round(time.Microsecond))
-			}
-		}
+		iterRecs = res.Trace
 	case "flpa":
 		res := flpa.Detect(g, flpa.Options{Seed: *seed})
 		labels, dur = res.Labels, res.Duration
 		iters = int(res.Steps)
+		iterRecs = res.Trace
+		if rec != nil {
+			rec.AddIterRecords(res.Trace)
+		}
 	case "plp":
 		res := plp.Detect(g, plp.DefaultOptions())
 		labels, dur, iters = res.Labels, res.Duration, res.Iterations
 		converged = fmt.Sprint(res.Converged)
+		iterRecs = res.Trace
+		if rec != nil {
+			rec.AddIterRecords(res.Trace)
+		}
 	case "gvelpa":
 		res := gvelpa.Detect(g, gvelpa.DefaultOptions())
 		labels, dur, iters = res.Labels, res.Duration, res.Iterations
 		converged = fmt.Sprint(res.Converged)
+		iterRecs = res.Trace
+		if rec != nil {
+			rec.AddIterRecords(res.Trace)
+		}
 	case "gunrock":
 		res := gunrock.Detect(g, gunrock.DefaultOptions())
 		labels, dur, iters = res.Labels, res.Duration, res.Iterations
 		converged = fmt.Sprint(res.Converged)
+		iterRecs = res.Trace
+		if rec != nil {
+			rec.AddIterRecords(res.Trace)
+		}
 	case "louvain":
 		res := louvain.Detect(g, louvain.DefaultOptions())
 		labels, dur, iters = res.Labels, res.Duration, res.Iterations
@@ -151,6 +176,29 @@ func main() {
 	fmt.Printf("time: %v (%.1fM arcs/s)\n", dur.Round(time.Microsecond), rate)
 	fmt.Printf("iterations: %d  converged: %s\n", iters, converged)
 	fmt.Printf("result: %s\n", sum)
+
+	if *trace {
+		fmt.Print(telemetry.FormatIters(iterRecs))
+		if s := rec.Summary(); s != "" {
+			fmt.Print(s)
+		}
+	}
+	if *profileTo != "" {
+		f, err := os.Create(*profileTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile: wrote %s (load in chrome://tracing)\n", *profileTo)
+	}
 
 	if *writeTo != "" {
 		f, err := os.Create(*writeTo)

@@ -83,6 +83,9 @@ func smallCfg() Config {
 }
 
 func TestFigSwapSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("25-config sweep is the slowest cell; skipped under -short")
+	}
 	tables := FigSwap(smallCfg())
 	if len(tables) != 1 {
 		t.Fatalf("tables = %d", len(tables))
@@ -111,6 +114,9 @@ func TestFigProbeSmall(t *testing.T) {
 }
 
 func TestFigSwitchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-degree sweep; skipped under -short")
+	}
 	tbl := FigSwitchDegree(smallCfg())[0]
 	if len(tbl.Rows) != 8 {
 		t.Fatalf("rows = %d, want 8", len(tbl.Rows))

@@ -53,7 +53,7 @@ func (c *Config) progressf(format string, args ...any) {
 func ExperimentIDs() []string {
 	return []string{
 		"fig-swap", "fig-probe", "fig-switch", "fig-dtype", "fig-coalesced",
-		"tab-dataset", "fig-compare",
+		"tab-dataset", "fig-compare", "fig-iters",
 		"abl-pruning", "abl-blockdim", "abl-reorder", "fig-variants", "tab-partition",
 	}
 }
@@ -76,6 +76,8 @@ func Run(id string, cfg Config) ([]Table, error) {
 		return TabDataset(cfg), nil
 	case "fig-compare":
 		return FigCompare(cfg), nil
+	case "fig-iters":
+		return FigIters(cfg), nil
 	case "abl-pruning":
 		return AblPruning(cfg), nil
 	case "abl-blockdim":

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"nulpa/internal/flpa"
+	"nulpa/internal/gunrock"
+	"nulpa/internal/gvelpa"
+	"nulpa/internal/nulpa"
+	"nulpa/internal/plp"
+	"nulpa/internal/simt"
+	"nulpa/internal/telemetry"
+)
+
+// FigIters records the per-iteration convergence behaviour of ν-LPA and the
+// LPA baselines: how ΔN (net labels changed) decays, where Pick-Less rounds
+// and Cross-Check reverts land, and how much each iteration costs. The
+// markdown table summarizes each run; the attached Series carry the full ΔN
+// and per-iteration-millisecond sequences for the JSON export (-json in
+// cmd/bench), which is how the paper's convergence plots are regenerated.
+func FigIters(cfg Config) []Table {
+	cfg.defaults()
+	tbl := Table{
+		ID:     "fig-iters",
+		Title:  "Per-iteration convergence telemetry (ΔN decay and iteration cost)",
+		Header: []string{"graph", "method", "iters", "ΔN first", "ΔN last", "reverts", "pruned max", "mean iter ms"},
+		Notes: []string{
+			"ΔN = net labels changed per iteration; FLPA rows count queue generations.",
+			"Full per-iteration ΔN and millisecond series are attached to this table in the JSON export (bench -json).",
+		},
+	}
+	type run struct {
+		method string
+		trace  []telemetry.IterRecord
+	}
+	for _, name := range cfg.Graphs {
+		g := Graph(name, cfg.Scale)
+		var runs []run
+
+		prof := telemetry.NewRecorder()
+		opt := nulpa.DefaultOptions()
+		opt.Device = simt.NewDevice(cfg.SMs)
+		opt.Profiler = prof
+		opt.TrackStats = true
+		nu, err := nulpa.Detect(g, opt)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		runs = append(runs, run{"nu-LPA", nu.Trace})
+		runs = append(runs, run{"FLPA", flpa.Detect(g, flpa.DefaultOptions()).Trace})
+		runs = append(runs, run{"NetworKit PLP", plp.Detect(g, plp.DefaultOptions()).Trace})
+		runs = append(runs, run{"GVE-LPA", gvelpa.Detect(g, gvelpa.DefaultOptions()).Trace})
+		runs = append(runs, run{"Gunrock LPA", gunrock.Detect(g, gunrock.DefaultOptions()).Trace})
+
+		for _, r := range runs {
+			tbl.Rows = append(tbl.Rows, iterRow(name, r.method, r.trace))
+			label := name + "/" + r.method
+			deltas := make([]float64, len(r.trace))
+			millis := make([]float64, len(r.trace))
+			for i, it := range r.trace {
+				deltas[i] = float64(it.DeltaN)
+				millis[i] = float64(it.Duration.Nanoseconds()) / 1e6
+			}
+			tbl.Series = append(tbl.Series,
+				Series{Name: "deltaN", Label: label, Values: deltas},
+				Series{Name: "iter-ms", Label: label, Values: millis})
+			cfg.progressf("fig-iters %s %s: %d iters\n", name, r.method, len(r.trace))
+		}
+	}
+	return []Table{tbl}
+}
+
+// iterRow summarizes one run's iteration trace as a table row.
+func iterRow(graphName, method string, trace []telemetry.IterRecord) []string {
+	var first, last, reverts, prunedMax int64
+	var total time.Duration
+	for i, it := range trace {
+		if i == 0 {
+			first = it.DeltaN
+		}
+		last = it.DeltaN
+		reverts += it.Reverts
+		if it.Pruned > prunedMax {
+			prunedMax = it.Pruned
+		}
+		total += it.Duration
+	}
+	meanMs := 0.0
+	if len(trace) > 0 {
+		meanMs = float64(total.Nanoseconds()) / 1e6 / float64(len(trace))
+	}
+	return []string{
+		graphName, method, fmt.Sprintf("%d", len(trace)),
+		fmt.Sprintf("%d", first), fmt.Sprintf("%d", last),
+		fmt.Sprintf("%d", reverts), fmt.Sprintf("%d", prunedMax),
+		fmt.Sprintf("%.2f", meanMs),
+	}
+}

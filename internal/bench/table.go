@@ -1,19 +1,51 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 )
 
 // Table is a rendered experiment result: a title, a header row, and data
-// rows, printable as GitHub-flavoured markdown.
+// rows, printable as GitHub-flavoured markdown and exportable as JSON via
+// WriteJSON. Experiments with per-iteration telemetry additionally attach
+// numeric Series, which the markdown renderer ignores but the JSON export
+// keeps for plotting.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	Series []Series   `json:"series,omitempty"`
+}
+
+// Series is one named per-iteration numeric sequence — for example the ΔN
+// decay or per-iteration wall time of one algorithm on one graph. Values[i]
+// belongs to iteration i.
+type Series struct {
+	// Name identifies the quantity, e.g. "deltaN" or "iter-ms".
+	Name string `json:"name"`
+	// Label identifies the run, e.g. "indochina-2004/nu-LPA".
+	Label  string    `json:"label,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// Report is the JSON document WriteJSON produces: the run configuration plus
+// every experiment table, including any per-iteration series.
+type Report struct {
+	Scale  string  `json:"scale"`
+	Reps   int     `json:"reps"`
+	Tables []Table `json:"tables"`
+}
+
+// WriteJSON writes the tables as an indented JSON Report.
+func WriteJSON(w io.Writer, scale Scale, reps int, tables []Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Scale: scale.String(), Reps: reps, Tables: tables})
 }
 
 // Markdown renders the table.

@@ -4,6 +4,7 @@
 package clitest
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -127,6 +128,101 @@ func TestWriteLabels(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "0 ") {
 		t.Errorf("first line = %q", lines[0])
+	}
+}
+
+func TestNulpaTraceTable(t *testing.T) {
+	out := mustRun(t, "nulpa", "-gen", "planted", "-n", "1000", "-deg", "10", "-trace")
+	// The table comes from telemetry.FormatIters — header columns plus the
+	// kernel summary that only the profiler hook can produce.
+	for _, want := range []string{"iter", "moves", "deltaN", "t-kernel", "kernel", "launches", "SM busy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-trace output missing %q:\n%s", want, out)
+		}
+	}
+	// Baselines render through the same records.
+	out = mustRun(t, "nulpa", "-gen", "planted", "-n", "500", "-deg", "10", "-algo", "flpa", "-trace")
+	if !strings.Contains(out, "deltaN") {
+		t.Errorf("flpa -trace output missing table:\n%s", out)
+	}
+}
+
+func TestNulpaProfileWritesChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	out := mustRun(t, "nulpa", "-gen", "planted", "-n", "1000", "-deg", "10", "-profile", path)
+	if !strings.Contains(out, "profile: wrote "+path) {
+		t.Errorf("missing profile confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("profile is not valid JSON: %v", err)
+	}
+	var slices, counters, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+		case "C":
+			counters++
+		case "M":
+			meta++
+		}
+	}
+	if slices == 0 || counters == 0 || meta == 0 {
+		t.Errorf("trace has slices=%d counters=%d metadata=%d, want all > 0", slices, counters, meta)
+	}
+}
+
+func TestBenchJSONExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	mustRun(t, "bench", "-experiment", "fig-iters", "-scale", "small", "-graphs", "asia_osm", "-json", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Scale  string `json:"scale"`
+		Tables []struct {
+			ID     string `json:"id"`
+			Series []struct {
+				Name   string    `json:"name"`
+				Values []float64 `json:"values"`
+			} `json:"series"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Scale != "small" || len(report.Tables) == 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	tbl := report.Tables[0]
+	if tbl.ID != "fig-iters" {
+		t.Errorf("table id = %q", tbl.ID)
+	}
+	if len(tbl.Series) == 0 {
+		t.Fatal("fig-iters table has no per-iteration series")
+	}
+	names := map[string]bool{}
+	for _, s := range tbl.Series {
+		names[s.Name] = true
+		if len(s.Values) == 0 {
+			t.Errorf("series %q is empty", s.Name)
+		}
+	}
+	if !names["deltaN"] || !names["iter-ms"] {
+		t.Errorf("series names = %v, want deltaN and iter-ms", names)
 	}
 }
 

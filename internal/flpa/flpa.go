@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
 )
 
 // Options configure an FLPA run.
@@ -32,6 +33,11 @@ type Result struct {
 	Labels   []uint32
 	Steps    int64 // vertices processed (queue pops)
 	Duration time.Duration
+	// Trace records one telemetry record per queue *generation* — the
+	// vertices enqueued before the previous generation finished, FLPA's
+	// analogue of an iteration — so its ΔN decay is comparable with the
+	// iteration traces of the synchronous-round algorithms.
+	Trace []telemetry.IterRecord
 }
 
 // Detect runs FLPA on g.
@@ -57,17 +63,42 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	start := time.Now()
 	var steps int64
 	head := 0
+	// Generation tracking for the telemetry trace: genEnd marks the queue
+	// position where the current generation's vertices stop.
+	res := &Result{}
+	genEnd := len(queue)
+	genStart := start
+	var genMoves, genSteps int64
+	flushGen := func() {
+		if genSteps == 0 {
+			return
+		}
+		res.Trace = append(res.Trace, telemetry.IterRecord{
+			Iter:     len(res.Trace),
+			Moves:    genMoves,
+			DeltaN:   genMoves,
+			Duration: time.Since(genStart),
+		})
+		genMoves, genSteps = 0, 0
+		genStart = time.Now()
+	}
 	for head < len(queue) {
 		if opt.MaxSteps > 0 && steps >= opt.MaxSteps {
 			break
+		}
+		if head == genEnd {
+			flushGen()
+			genEnd = len(queue)
 		}
 		u := queue[head]
 		head++
 		inQueue[u] = false
 		steps++
+		genSteps++
 		// Compact the consumed prefix occasionally to bound memory.
 		if head > n && head*2 > len(queue) {
 			queue = append(queue[:0], queue[head:]...)
+			genEnd -= head
 			head = 0
 		}
 
@@ -119,6 +150,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 			continue
 		}
 		labels[u] = newLabel
+		genMoves++
 		// Re-enqueue neighbours not sharing the new community.
 		for _, v := range ts {
 			if v == u || labels[v] == newLabel || inQueue[v] {
@@ -128,5 +160,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 			inQueue[v] = true
 		}
 	}
-	return &Result{Labels: labels, Steps: steps, Duration: time.Since(start)}
+	flushGen()
+	res.Labels, res.Steps, res.Duration = labels, steps, time.Since(start)
+	return res
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
 )
 
 // Options configure a synchronous LPA run.
@@ -34,6 +35,9 @@ type Result struct {
 	Iterations int
 	Converged  bool // true when an iteration changed nothing
 	Duration   time.Duration
+	// Trace records per-iteration telemetry (moves = labels that will
+	// change at the synchronous commit).
+	Trace []telemetry.IterRecord
 }
 
 // Detect runs synchronous label propagation on g.
@@ -55,6 +59,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	start := time.Now()
 	const chunk = 2048
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		iterStart := time.Now()
 		var changed int64
 		var cursor int64
 		var wg sync.WaitGroup
@@ -107,6 +112,9 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		wg.Wait()
 		cur, next = next, cur
 		res.Iterations = iter + 1
+		res.Trace = append(res.Trace, telemetry.IterRecord{
+			Iter: iter, Moves: changed, DeltaN: changed, Duration: time.Since(iterStart),
+		})
 		if changed == 0 {
 			res.Converged = true
 			break

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
 )
 
 // Options configure a GVE-LPA run.
@@ -40,6 +41,8 @@ type Result struct {
 	// ThreadTableBytes is the memory consumed by per-thread hashtables —
 	// the O(T·N) term the GPU design eliminates.
 	ThreadTableBytes int64
+	// Trace records per-iteration telemetry (moves = labels changed).
+	Trace []telemetry.IterRecord
 }
 
 // threadTable is the per-thread collision-free hashtable: values is indexed
@@ -116,6 +119,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	start := time.Now()
 	const chunk = 2048
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		iterStart := time.Now()
 		var changed int64
 		var cursor int64
 		var wg sync.WaitGroup
@@ -169,6 +173,9 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		}
 		wg.Wait()
 		res.Iterations = iter + 1
+		res.Trace = append(res.Trace, telemetry.IterRecord{
+			Iter: iter, Moves: changed, DeltaN: changed, Duration: time.Since(iterStart),
+		})
 		if float64(changed) < opt.Tolerance*float64(n) {
 			res.Converged = true
 			break

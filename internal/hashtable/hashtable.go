@@ -107,6 +107,44 @@ func (s *Stats) Reset() {
 	s.Failures.Store(0)
 }
 
+// StatsSnapshot is a plain-value copy of Stats. Field names mirror Stats
+// one-to-one (enforced by a reflection test) so a newly added counter cannot
+// be silently dropped from snapshots.
+type StatsSnapshot struct {
+	Accumulates int64
+	Probes      int64
+	Collisions  int64
+	Fallbacks   int64
+	Failures    int64
+}
+
+// Snapshot reads all counters at once; the telemetry layer subtracts
+// consecutive snapshots to attribute probe work to iterations. A nil
+// receiver yields a zero snapshot, so callers need not gate on TrackStats.
+func (s *Stats) Snapshot() StatsSnapshot {
+	if s == nil {
+		return StatsSnapshot{}
+	}
+	return StatsSnapshot{
+		Accumulates: s.Accumulates.Load(),
+		Probes:      s.Probes.Load(),
+		Collisions:  s.Collisions.Load(),
+		Fallbacks:   s.Fallbacks.Load(),
+		Failures:    s.Failures.Load(),
+	}
+}
+
+// Sub returns the per-field delta a − b.
+func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Accumulates: a.Accumulates - b.Accumulates,
+		Probes:      a.Probes - b.Probes,
+		Collisions:  a.Collisions - b.Collisions,
+		Fallbacks:   a.Fallbacks - b.Fallbacks,
+		Failures:    a.Failures - b.Failures,
+	}
+}
+
 // Arena is the backing storage for every per-vertex table: the bufK / bufV
 // buffers of Algorithm 1, each sized 2·|E| slots.
 type Arena struct {

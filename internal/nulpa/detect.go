@@ -63,6 +63,9 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 	if dev == nil {
 		dev = simt.NewDevice(0)
 	}
+	if opt.Profiler != nil && dev.Prof == nil {
+		dev.Prof = opt.Profiler
+	}
 	n := g.NumVertices()
 	arcs := g.NumArcs()
 
@@ -107,29 +110,62 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 		if crosscheck {
 			copy(st.prev, st.labels)
 		}
+		hashBase := res.HashStats.Snapshot()
+		casBase := simt.ContentionSnapshot()
+		var pruned int64
+		if opt.Profiler != nil && !st.noPrune {
+			pruned = countPruned(st.processed)
+		}
 
+		var tkDur, bkDur, ckDur time.Duration
 		if len(low) > 0 {
+			t0 := time.Now()
 			dev.Launch1D(len(low), opt.BlockDim, tk)
+			tkDur = time.Since(t0)
 		}
 		if len(high) > 0 {
+			t0 := time.Now()
 			dev.Launch(len(high), opt.BlockDim, bk)
+			bkDur = time.Since(t0)
 		}
 		if crosscheck {
 			ck := &crossCheckKernel{runState: st}
+			t0 := time.Now()
 			dev.Launch1D(n, opt.BlockDim, ck)
+			ckDur = time.Since(t0)
 		}
 
-		delta := atomic.LoadInt64(&st.deltaN) - atomic.LoadInt64(&st.reverts)
+		gross := atomic.LoadInt64(&st.deltaN)
+		reverts := atomic.LoadInt64(&st.reverts)
+		delta := gross - reverts
 		res.Moves += delta
-		res.Reverts += atomic.LoadInt64(&st.reverts)
+		res.Reverts += reverts
 		res.DeltaHistory = append(res.DeltaHistory, delta)
-		res.Trace = append(res.Trace, IterStat{
-			PickLess:   st.pickless,
-			CrossCheck: crosscheck,
-			Moves:      atomic.LoadInt64(&st.deltaN),
-			Reverts:    atomic.LoadInt64(&st.reverts),
-			Duration:   time.Since(iterStart),
-		})
+		rec := IterStat{
+			Iter:         iter,
+			PickLess:     st.pickless,
+			CrossCheck:   crosscheck,
+			Moves:        gross,
+			Reverts:      reverts,
+			DeltaN:       delta,
+			Pruned:       pruned,
+			Duration:     time.Since(iterStart),
+			ThreadKernel: tkDur,
+			BlockKernel:  bkDur,
+			CrossKernel:  ckDur,
+			CASRetries:   simt.ContentionSnapshot().Sub(casBase).Total(),
+		}
+		if res.HashStats != nil {
+			d := res.HashStats.Snapshot().Sub(hashBase)
+			rec.HashAccumulates = d.Accumulates
+			rec.HashProbes = d.Probes
+			rec.HashCollisions = d.Collisions
+			rec.HashFallbacks = d.Fallbacks
+		}
+		if opt.Profiler != nil {
+			opt.Profiler.RecordIteration(rec)
+		}
+		res.Trace = append(res.Trace, rec)
 		res.Iterations = iter + 1
 
 		if !st.pickless && float64(delta) < opt.Tolerance*float64(n) {
@@ -145,6 +181,19 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 	res.Duration = time.Since(start)
 	res.Labels = st.labels
 	return res, nil
+}
+
+// countPruned counts vertices whose processed flag is set — the vertices the
+// coming iteration will skip. Called between kernel launches, so plain reads
+// are safe (the SM goroutines have been joined).
+func countPruned(flags []uint32) int64 {
+	var c int64
+	for _, f := range flags {
+		if f == 1 {
+			c++
+		}
+	}
+	return c
 }
 
 // partitionByDegree splits vertices into the thread-per-vertex list (degree
@@ -179,6 +228,9 @@ type threadKernel struct {
 }
 
 func (k *threadKernel) NumPhases() int { return 2 }
+
+// KernelName implements simt.NamedKernel for profiling.
+func (k *threadKernel) KernelName() string { return "thread-per-vertex" }
 
 func (k *threadKernel) Phase(p int, t *simt.Thread) {
 	gid := t.GlobalID()
@@ -242,6 +294,9 @@ type blockKernel struct {
 
 func (k *blockKernel) NumPhases() int     { return 6 }
 func (k *blockKernel) SharedUint64s() int { return 2 + 2*k.blockDim }
+
+// KernelName implements simt.NamedKernel for profiling.
+func (k *blockKernel) KernelName() string { return "block-per-vertex" }
 
 func (k *blockKernel) Phase(p int, t *simt.Thread) {
 	if t.Block >= len(k.list) {
@@ -347,6 +402,9 @@ type crossCheckKernel struct {
 }
 
 func (k *crossCheckKernel) NumPhases() int { return 1 }
+
+// KernelName implements simt.NamedKernel for profiling.
+func (k *crossCheckKernel) KernelName() string { return "cross-check" }
 
 func (k *crossCheckKernel) Phase(_ int, t *simt.Thread) {
 	i := t.GlobalID()

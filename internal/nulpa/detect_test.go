@@ -1,6 +1,7 @@
 package nulpa
 
 import (
+	"errors"
 	"testing"
 
 	"nulpa/internal/gen"
@@ -239,8 +240,14 @@ func TestDeviceOOM(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Device = simt.NewDevice(2)
 	opt.Device.MemBudget = 1024 // far too small
-	if _, err := Detect(g, opt); err == nil {
+	_, err := Detect(g, opt)
+	if err == nil {
 		t.Fatal("expected out-of-memory error")
+	}
+	// Detect must wrap, not flatten, the device error so callers can
+	// distinguish OOM from other failures.
+	if !errors.Is(err, simt.ErrOutOfMemory) {
+		t.Errorf("Detect error %v does not unwrap to simt.ErrOutOfMemory", err)
 	}
 	// Budget must be fully released after the failed attempt.
 	if used := opt.Device.MemUsed(); used != 0 {

@@ -52,6 +52,11 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 		if crosscheck {
 			copy(st.prev, st.labels)
 		}
+		hashBase := res.HashStats.Snapshot()
+		var pruned int64
+		if opt.Profiler != nil && !st.noPrune {
+			pruned = countPruned(st.processed)
+		}
 
 		var cursor int64
 		var wg sync.WaitGroup
@@ -93,17 +98,33 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 			crossCheckDirect(st, workers)
 		}
 
-		delta := atomic.LoadInt64(&st.deltaN) - atomic.LoadInt64(&st.reverts)
+		gross := atomic.LoadInt64(&st.deltaN)
+		reverts := atomic.LoadInt64(&st.reverts)
+		delta := gross - reverts
 		res.Moves += delta
-		res.Reverts += atomic.LoadInt64(&st.reverts)
+		res.Reverts += reverts
 		res.DeltaHistory = append(res.DeltaHistory, delta)
-		res.Trace = append(res.Trace, IterStat{
+		rec := IterStat{
+			Iter:       iter,
 			PickLess:   st.pickless,
 			CrossCheck: crosscheck,
-			Moves:      atomic.LoadInt64(&st.deltaN),
-			Reverts:    atomic.LoadInt64(&st.reverts),
+			Moves:      gross,
+			Reverts:    reverts,
+			DeltaN:     delta,
+			Pruned:     pruned,
 			Duration:   time.Since(iterStart),
-		})
+		}
+		if res.HashStats != nil {
+			d := res.HashStats.Snapshot().Sub(hashBase)
+			rec.HashAccumulates = d.Accumulates
+			rec.HashProbes = d.Probes
+			rec.HashCollisions = d.Collisions
+			rec.HashFallbacks = d.Fallbacks
+		}
+		if opt.Profiler != nil {
+			opt.Profiler.RecordIteration(rec)
+		}
+		res.Trace = append(res.Trace, rec)
 		res.Iterations = iter + 1
 		if !st.pickless && float64(delta) < opt.Tolerance*float64(n) {
 			res.Converged = true

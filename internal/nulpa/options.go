@@ -19,6 +19,7 @@ import (
 
 	"nulpa/internal/hashtable"
 	"nulpa/internal/simt"
+	"nulpa/internal/telemetry"
 )
 
 // Backend selects the execution engine.
@@ -77,6 +78,12 @@ type Options struct {
 	Workers int
 	// TrackStats attaches hashtable probe accounting to the run.
 	TrackStats bool
+	// Profiler, when non-nil, receives device-level execution events
+	// (kernel launches, per-SM busy spans on the SIMT backend) and a copy
+	// of every per-iteration record, and unlocks the detailed trace fields
+	// whose computation costs an extra pass (pruned-vertex counts).
+	// Combine with TrackStats for hashtable probe deltas.
+	Profiler *telemetry.Recorder
 	// DisablePruning turns off the vertex-pruning optimization (every
 	// vertex is processed every iteration) — the ablation for the paper's
 	// feature (4) in §4.
@@ -99,19 +106,9 @@ func DefaultOptions() Options {
 	}
 }
 
-// IterStat is one iteration's diagnostic record.
-type IterStat struct {
-	// PickLess reports whether the Pick-Less restriction was active.
-	PickLess bool
-	// CrossCheck reports whether a Cross-Check pass ran.
-	CrossCheck bool
-	// Moves is the gross label-change count (before reverts).
-	Moves int64
-	// Reverts is the Cross-Check revert count.
-	Reverts int64
-	// Duration is the iteration's wall time.
-	Duration time.Duration
-}
+// IterStat is one iteration's diagnostic record — the shared telemetry
+// record type, so ν-LPA traces are directly comparable with the baselines'.
+type IterStat = telemetry.IterRecord
 
 // Result reports a completed ν-LPA run.
 type Result struct {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
 )
 
 // Options configure a PLP run.
@@ -39,6 +40,8 @@ type Result struct {
 	Iterations int
 	Converged  bool
 	Duration   time.Duration
+	// Trace records per-iteration telemetry (moves = vertices updated).
+	Trace []telemetry.IterRecord
 }
 
 // Detect runs parallel label propagation on g.
@@ -72,6 +75,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	res := &Result{}
 	start := time.Now()
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		iterStart := time.Now()
 		var updated int64
 		runGuided(n, workers, func(lo, hi int, acc map[uint32]float64) {
 			var local int64
@@ -122,6 +126,9 @@ func Detect(g *graph.CSR, opt Options) *Result {
 			}
 		})
 		res.Iterations = iter + 1
+		res.Trace = append(res.Trace, telemetry.IterRecord{
+			Iter: iter, Moves: updated, DeltaN: updated, Duration: time.Since(iterStart),
+		})
 		if float64(updated) < theta {
 			res.Converged = true
 			break

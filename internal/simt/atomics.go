@@ -10,6 +10,49 @@ import (
 // floating-point values implemented as a compare-and-swap loop over the bit
 // pattern (the standard technique, and the reason value arrays in the
 // hashtable are stored as bit-pattern integer slices).
+//
+// Every CAS retry loop counts its lost races into process-wide contention
+// counters. The counters live on the retry path only — an uncontended
+// operation costs nothing extra — so they stay on permanently; the telemetry
+// layer reads per-iteration deltas via ContentionSnapshot.
+
+var (
+	casRetries      atomic.Int64 // AtomicCASUint32 lost races
+	minMaxRetries   atomic.Int64 // AtomicMinUint32 / AtomicMaxUint32 lost races
+	floatAddRetries atomic.Int64 // AtomicAddFloat{32,64}Bits lost races
+)
+
+// ContentionCounts is a snapshot of the process-wide atomic-contention
+// counters: how many CAS loops had to retry because another lane won the
+// race.
+type ContentionCounts struct {
+	CASRetries      int64
+	MinMaxRetries   int64
+	FloatAddRetries int64
+}
+
+// ContentionSnapshot reads the current contention counters.
+func ContentionSnapshot() ContentionCounts {
+	return ContentionCounts{
+		CASRetries:      casRetries.Load(),
+		MinMaxRetries:   minMaxRetries.Load(),
+		FloatAddRetries: floatAddRetries.Load(),
+	}
+}
+
+// Sub returns the delta c − o, the contention between two snapshots.
+func (c ContentionCounts) Sub(o ContentionCounts) ContentionCounts {
+	return ContentionCounts{
+		CASRetries:      c.CASRetries - o.CASRetries,
+		MinMaxRetries:   c.MinMaxRetries - o.MinMaxRetries,
+		FloatAddRetries: c.FloatAddRetries - o.FloatAddRetries,
+	}
+}
+
+// Total sums the counters.
+func (c ContentionCounts) Total() int64 {
+	return c.CASRetries + c.MinMaxRetries + c.FloatAddRetries
+}
 
 // AtomicAddUint32 atomically adds delta to p[i] and returns the new value.
 func AtomicAddUint32(p []uint32, i int, delta uint32) uint32 {
@@ -34,6 +77,7 @@ func AtomicCASUint32(p []uint32, i int, old, new uint32) uint32 {
 			return old
 		}
 		// Lost a race: re-read and re-decide.
+		casRetries.Add(1)
 	}
 }
 
@@ -54,6 +98,7 @@ func AtomicMinUint32(p []uint32, i int, v uint32) uint32 {
 		if atomic.CompareAndSwapUint32(&p[i], cur, v) {
 			return cur
 		}
+		minMaxRetries.Add(1)
 	}
 }
 
@@ -68,6 +113,7 @@ func AtomicMaxUint32(p []uint32, i int, v uint32) uint32 {
 		if atomic.CompareAndSwapUint32(&p[i], cur, v) {
 			return cur
 		}
+		minMaxRetries.Add(1)
 	}
 }
 
@@ -81,6 +127,7 @@ func AtomicAddFloat32Bits(bits []uint32, i int, delta float32) float32 {
 		if atomic.CompareAndSwapUint32(&bits[i], old, math.Float32bits(newF)) {
 			return newF
 		}
+		floatAddRetries.Add(1)
 	}
 }
 
@@ -93,6 +140,7 @@ func AtomicAddFloat64Bits(bits []uint64, i int, delta float64) float64 {
 		if atomic.CompareAndSwapUint64(&bits[i], old, math.Float64bits(newF)) {
 			return newF
 		}
+		floatAddRetries.Add(1)
 	}
 }
 

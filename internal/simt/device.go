@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // WarpSize is the number of lanes that execute in lockstep, matching NVIDIA
@@ -44,6 +45,11 @@ type Device struct {
 	// 0 means unlimited.
 	MemBudget int64
 
+	// Prof, when non-nil, receives kernel-launch and per-SM execution
+	// events (see Profiler). A nil Prof costs one pointer test per launch
+	// and nothing per phase or lane.
+	Prof Profiler
+
 	memUsed int64 // atomic
 
 	// Launch statistics, updated atomically; useful in tests and reports.
@@ -51,6 +57,38 @@ type Device struct {
 	PhasesRun  atomic.Int64
 	LanesRun   atomic.Int64
 	KernelsRun atomic.Int64
+}
+
+// Profiler receives execution events from a Device. KernelBegin is called
+// once per launch from the launching goroutine and returns a launch id;
+// SMSpan is called once per SM goroutine as it drains its blocks — possibly
+// concurrently, so implementations must be safe for concurrent use — and
+// KernelEnd is called after every block has finished. Events carry wall
+// times so a profiler can reconstruct the per-SM execution timeline.
+type Profiler interface {
+	// KernelBegin announces a launch of kernel on a grid×blockDim grid
+	// executed by sms SM goroutines, returning an id for the later calls.
+	KernelBegin(kernel string, grid, blockDim, sms int) int
+	// SMSpan reports one SM's busy span: blocks executed, phase barriers
+	// crossed and lanes run between start and end.
+	SMSpan(launch, sm int, start, end time.Time, blocks, phases, lanes int64)
+	// KernelEnd reports the launch's overall wall span
+	// (cudaDeviceSynchronize returning).
+	KernelEnd(launch int, start, end time.Time)
+}
+
+// NamedKernel is implemented by kernels that report a stable name to
+// profilers; others are named by their Go type.
+type NamedKernel interface {
+	KernelName() string
+}
+
+// KernelName returns the profiling name of k.
+func KernelName(k Kernel) string {
+	if n, ok := k.(NamedKernel); ok {
+		return n.KernelName()
+	}
+	return fmt.Sprintf("%T", k)
 }
 
 // NewDevice returns a Device with n SMs (n <= 0 selects GOMAXPROCS) and no
@@ -151,11 +189,22 @@ func (d *Device) Launch(gridDim, blockDim int, k Kernel) {
 	if nSM > gridDim {
 		nSM = gridDim
 	}
+	prof := d.Prof
+	var launch int
+	var kStart time.Time
+	if prof != nil {
+		launch = prof.KernelBegin(KernelName(k), gridDim, blockDim, nSM)
+		kStart = time.Now()
+	}
 	var wg sync.WaitGroup
 	for sm := 0; sm < nSM; sm++ {
 		wg.Add(1)
 		go func(sm int) {
 			defer wg.Done()
+			var smStart time.Time
+			if prof != nil {
+				smStart = time.Now()
+			}
 			var shared []uint64
 			if sharedWords > 0 {
 				shared = make([]uint64, sharedWords)
@@ -180,9 +229,15 @@ func (d *Device) Launch(gridDim, blockDim int, k Kernel) {
 			d.BlocksRun.Add(blocks)
 			d.PhasesRun.Add(phasesRun)
 			d.LanesRun.Add(lanes)
+			if prof != nil {
+				prof.SMSpan(launch, sm, smStart, time.Now(), blocks, phasesRun, lanes)
+			}
 		}(sm)
 	}
 	wg.Wait()
+	if prof != nil {
+		prof.KernelEnd(launch, kStart, time.Now())
+	}
 }
 
 // Launch1D runs k with enough blocks of blockDim threads to cover total

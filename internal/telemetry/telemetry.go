@@ -1,0 +1,253 @@
+// Package telemetry is the observability layer for the ν-LPA system: a
+// near-zero-overhead-when-disabled recorder for device-level execution
+// events (kernel launches, per-SM busy spans) and per-iteration algorithm
+// records (ΔN decay, Pick-Less rounds, Cross-Check reverts, hashtable probe
+// deltas, atomic contention), with two exporters — a human-readable summary
+// table and a Chrome trace-event JSON timeline loadable in chrome://tracing.
+//
+// The package deliberately has no dependency on the rest of the repository:
+// internal/simt defines the Profiler hook interface that *Recorder
+// implements, and every algorithm package embeds IterRecord in its result
+// trace, so baselines and ν-LPA report through the same record type and a
+// table rendered from a run can never disagree with its exported trace.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// IterRecord is one iteration's telemetry for any label-propagation run.
+// ν-LPA populates every field; baselines populate the subset that exists in
+// their execution model (FLPA maps queue generations to iterations) and
+// leave the rest zero.
+type IterRecord struct {
+	// Iter is the zero-based iteration index.
+	Iter int `json:"iter"`
+	// PickLess reports whether the Pick-Less restriction was active.
+	PickLess bool `json:"pickLess,omitempty"`
+	// CrossCheck reports whether a Cross-Check pass ran.
+	CrossCheck bool `json:"crossCheck,omitempty"`
+	// Moves is the gross label-change count (before reverts).
+	Moves int64 `json:"moves"`
+	// Reverts is the Cross-Check revert count.
+	Reverts int64 `json:"reverts,omitempty"`
+	// DeltaN is the net changed-vertex count (Moves − Reverts), the
+	// quantity the tolerance test and the paper's convergence figures use.
+	DeltaN int64 `json:"deltaN"`
+	// Pruned is the number of vertices skipped by the pruning flag at the
+	// start of the iteration (populated only when profiling is enabled —
+	// counting it costs an O(V) scan).
+	Pruned int64 `json:"pruned,omitempty"`
+	// Duration is the iteration's wall time.
+	Duration time.Duration `json:"duration"`
+	// ThreadKernel, BlockKernel and CrossKernel are the wall times of the
+	// thread-per-vertex, block-per-vertex and Cross-Check kernel launches
+	// (SIMT backend only).
+	ThreadKernel time.Duration `json:"threadKernel,omitempty"`
+	BlockKernel  time.Duration `json:"blockKernel,omitempty"`
+	CrossKernel  time.Duration `json:"crossKernel,omitempty"`
+	// Hashtable probe accounting deltas for this iteration (requires
+	// TrackStats on the run).
+	HashAccumulates int64 `json:"hashAccumulates,omitempty"`
+	HashProbes      int64 `json:"hashProbes,omitempty"`
+	HashCollisions  int64 `json:"hashCollisions,omitempty"`
+	HashFallbacks   int64 `json:"hashFallbacks,omitempty"`
+	// CASRetries is the number of lost atomic races (CAS retry loops in the
+	// simt engine) during the iteration, a process-wide delta.
+	CASRetries int64 `json:"casRetries,omitempty"`
+}
+
+// SMSpan is one streaming multiprocessor's busy span within a kernel launch.
+type SMSpan struct {
+	SM         int
+	Start, End time.Time
+	Blocks     int64
+	Phases     int64
+	Lanes      int64
+}
+
+// Busy is the span's wall time.
+func (s SMSpan) Busy() time.Duration { return s.End.Sub(s.Start) }
+
+// Launch is one recorded kernel launch: overall wall span plus one SMSpan
+// per SM goroutine that executed blocks of the grid.
+type Launch struct {
+	ID         int
+	Kernel     string
+	Grid       int
+	BlockDim   int
+	Start, End time.Time
+	SMs        []SMSpan
+}
+
+// iterEvent pairs an IterRecord with its wall-clock timestamp for the trace
+// timeline.
+type iterEvent struct {
+	rec IterRecord
+	at  time.Time
+}
+
+// Recorder collects device events and iteration records for one or more
+// runs. It implements the simt.Profiler interface; attach it to a device via
+// nulpa.Options.Profiler (or simt.Device.Prof directly). All methods are
+// safe for concurrent use: SM goroutines report spans in parallel.
+type Recorder struct {
+	mu       sync.Mutex
+	base     time.Time
+	launches []*Launch
+	iters    []iterEvent
+}
+
+// NewRecorder returns an empty Recorder whose timeline starts now.
+func NewRecorder() *Recorder {
+	return &Recorder{base: time.Now()}
+}
+
+// KernelBegin records the start of a kernel launch and returns its id.
+// sms is the number of SM goroutines the launch will run; their spans are
+// pre-sized so SMSpan can write without reallocating.
+func (r *Recorder) KernelBegin(kernel string, grid, blockDim, sms int) int {
+	l := &Launch{Kernel: kernel, Grid: grid, BlockDim: blockDim, SMs: make([]SMSpan, sms)}
+	r.mu.Lock()
+	l.ID = len(r.launches)
+	r.launches = append(r.launches, l)
+	r.mu.Unlock()
+	return l.ID
+}
+
+// SMSpan records one SM's busy span for a launch. Distinct SMs of the same
+// launch write disjoint slots, so concurrent reports do not contend beyond
+// the id lookup.
+func (r *Recorder) SMSpan(launch, sm int, start, end time.Time, blocks, phases, lanes int64) {
+	r.mu.Lock()
+	l := r.launches[launch]
+	r.mu.Unlock()
+	if sm < 0 || sm >= len(l.SMs) {
+		return
+	}
+	l.SMs[sm] = SMSpan{SM: sm, Start: start, End: end, Blocks: blocks, Phases: phases, Lanes: lanes}
+}
+
+// KernelEnd records the overall wall span of a launch.
+func (r *Recorder) KernelEnd(launch int, start, end time.Time) {
+	r.mu.Lock()
+	l := r.launches[launch]
+	r.mu.Unlock()
+	l.Start, l.End = start, end
+}
+
+// RecordIteration appends an iteration record stamped with the current time.
+// Algorithm loops call it once per iteration, right after the iteration
+// completes.
+func (r *Recorder) RecordIteration(rec IterRecord) {
+	now := time.Now()
+	r.mu.Lock()
+	r.iters = append(r.iters, iterEvent{rec: rec, at: now})
+	r.mu.Unlock()
+}
+
+// AddIterRecords appends records produced outside the recorder's clock (a
+// baseline's result trace), synthesizing timestamps by accumulating each
+// record's duration from the end of the current timeline.
+func (r *Recorder) AddIterRecords(recs []IterRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	at := r.base
+	if n := len(r.iters); n > 0 {
+		at = r.iters[n-1].at
+	}
+	for _, rec := range recs {
+		at = at.Add(rec.Duration)
+		r.iters = append(r.iters, iterEvent{rec: rec, at: at})
+	}
+}
+
+// Launches returns a copy of the recorded kernel launches in launch order.
+func (r *Recorder) Launches() []Launch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Launch, len(r.launches))
+	for i, l := range r.launches {
+		out[i] = *l
+		out[i].SMs = append([]SMSpan(nil), l.SMs...)
+	}
+	return out
+}
+
+// IterRecords returns a copy of the recorded iteration records in order.
+func (r *Recorder) IterRecords() []IterRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]IterRecord, len(r.iters))
+	for i, ev := range r.iters {
+		out[i] = ev.rec
+	}
+	return out
+}
+
+// KernelSummary aggregates every launch of one kernel.
+type KernelSummary struct {
+	Kernel   string
+	Launches int
+	// Total is the summed wall time of the launches.
+	Total time.Duration
+	// SMBusy is the summed busy time across all SM spans — the device-side
+	// work; Total×NumSMs − SMBusy is idle tail time.
+	SMBusy time.Duration
+	Blocks int64
+	Phases int64
+	Lanes  int64
+}
+
+// KernelSummaries aggregates launches per kernel name, in first-launch
+// order.
+func (r *Recorder) KernelSummaries() []KernelSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := map[string]int{}
+	var out []KernelSummary
+	for _, l := range r.launches {
+		i, ok := idx[l.Kernel]
+		if !ok {
+			i = len(out)
+			idx[l.Kernel] = i
+			out = append(out, KernelSummary{Kernel: l.Kernel})
+		}
+		s := &out[i]
+		s.Launches++
+		s.Total += l.End.Sub(l.Start)
+		for _, sm := range l.SMs {
+			s.SMBusy += sm.Busy()
+			s.Blocks += sm.Blocks
+			s.Phases += sm.Phases
+			s.Lanes += sm.Lanes
+		}
+	}
+	return out
+}
+
+// SMUtil is one SM's aggregate over every recorded launch.
+type SMUtil struct {
+	SM     int
+	Busy   time.Duration
+	Blocks int64
+}
+
+// SMUtilization aggregates busy time and blocks executed per SM across all
+// launches — the load-balance view of the ID-based block assignment.
+func (r *Recorder) SMUtilization() []SMUtil {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SMUtil
+	for _, l := range r.launches {
+		for _, sm := range l.SMs {
+			for sm.SM >= len(out) {
+				out = append(out, SMUtil{SM: len(out)})
+			}
+			out[sm.SM].Busy += sm.Busy()
+			out[sm.SM].Blocks += sm.Blocks
+		}
+	}
+	return out
+}
