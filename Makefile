@@ -4,15 +4,19 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-full bench
+.PHONY: check build vet lint test test-full bench
 
-check: vet test
+check: vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Import layering: algorithm packages meet only through the engine registry.
+lint:
+	sh scripts/lint_imports.sh
 
 test:
 	$(GO) test -race -short ./...

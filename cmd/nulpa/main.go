@@ -1,6 +1,6 @@
-// Command nulpa runs community detection on a graph with any of the
-// repository's six algorithms and reports runtime, iteration count,
-// community count, and modularity.
+// Command nulpa runs community detection on a graph with any algorithm in
+// the engine registry and reports runtime, iteration count, community count,
+// and modularity. `-algo list` names every registered detector.
 //
 // The input graph comes either from a file (-graph, format by extension:
 // .mtx Matrix Market, .bin binary, otherwise edge list) or from a generator
@@ -19,19 +19,15 @@ import (
 	"os"
 	"time"
 
-	"nulpa/internal/flpa"
+	"nulpa/internal/engine"
+	_ "nulpa/internal/engine/all"
 	"nulpa/internal/gen"
 	"nulpa/internal/graph"
-	"nulpa/internal/gunrock"
-	"nulpa/internal/gvelpa"
 	"nulpa/internal/hashtable"
-	"nulpa/internal/louvain"
 	"nulpa/internal/nulpa"
-	"nulpa/internal/plp"
 	"nulpa/internal/quality"
 	"nulpa/internal/simt"
 	"nulpa/internal/telemetry"
-	"nulpa/internal/variants"
 )
 
 func main() {
@@ -41,7 +37,7 @@ func main() {
 		n         = flag.Int("n", 100000, "generator vertex count (social: rounded to a power of two)")
 		deg       = flag.Int("deg", 8, "generator average degree parameter")
 		seed      = flag.Int64("seed", 1, "generator / algorithm seed")
-		algo      = flag.String("algo", "nulpa", "algorithm: nulpa, flpa, plp, gvelpa, gunrock, louvain, slpa, copra, labelrank")
+		algo      = flag.String("algo", "nulpa", "registry name of the detector to run, or 'list'")
 		backend   = flag.String("backend", "simt", "nulpa backend: simt or direct")
 		pickless  = flag.Int("pickless", 4, "nulpa: apply Pick-Less every N iterations (0 = off)")
 		crosschk  = flag.Int("crosscheck", 0, "nulpa: apply Cross-Check every N iterations (0 = off)")
@@ -56,11 +52,62 @@ func main() {
 	)
 	flag.Parse()
 
+	if *algo == "list" {
+		for _, name := range engine.List() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	// The -backend flag selects between the two registered ν-LPA detectors.
+	name := *algo
+	if name == "nulpa" && *backend == "direct" {
+		name = "nulpa-direct"
+	}
+	det, err := engine.MustGet(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nulpa: bad -algo %q: %v\n", *algo, err)
+		os.Exit(2)
+	}
+
 	// -trace and -profile render the same telemetry records, so they can
 	// never disagree: the recorder is attached whenever either is on.
 	var rec *telemetry.Recorder
 	if *trace || *profileTo != "" {
 		rec = telemetry.NewRecorder()
+	}
+
+	eopt := engine.DefaultOptions()
+	eopt.Seed = *seed
+	eopt.Profiler = rec
+	if *algo == "nulpa" || *algo == "nulpa-direct" {
+		// The ν-LPA-specific flags travel through Extra; every other
+		// detector ignores them.
+		nopt := nulpa.DefaultOptions()
+		nopt.PickLessEvery = *pickless
+		nopt.CrossCheckEvery = *crosschk
+		nopt.SwitchDegree = *switchDeg
+		if *f64 {
+			nopt.ValueKind = hashtable.Float64
+		}
+		switch *probing {
+		case "linear":
+			nopt.Probing = hashtable.Linear
+		case "quadratic":
+			nopt.Probing = hashtable.Quadratic
+		case "double":
+			nopt.Probing = hashtable.Double
+		case "quadratic-double":
+			nopt.Probing = hashtable.QuadraticDouble
+		default:
+			fmt.Fprintf(os.Stderr, "nulpa: bad -probing %q\n", *probing)
+			os.Exit(2)
+		}
+		if name == "nulpa" {
+			nopt.Device = simt.NewDevice(*sms)
+			nopt.Device.MemBudget = *membudget
+		}
+		eopt.Extra = nopt
 	}
 
 	g, err := loadGraph(*graphPath, *genName, *n, *deg, *seed)
@@ -71,114 +118,21 @@ func main() {
 	st := graph.ComputeStats(g)
 	fmt.Printf("graph: %s\n", st)
 
-	var labels []uint32
-	var dur time.Duration
-	var iters int
-	converged := "n/a"
-	var iterRecs []telemetry.IterRecord
-
-	switch *algo {
-	case "nulpa":
-		opt := nulpa.DefaultOptions()
-		opt.PickLessEvery = *pickless
-		opt.CrossCheckEvery = *crosschk
-		opt.SwitchDegree = *switchDeg
-		if *f64 {
-			opt.ValueKind = hashtable.Float64
-		}
-		switch *probing {
-		case "linear":
-			opt.Probing = hashtable.Linear
-		case "quadratic":
-			opt.Probing = hashtable.Quadratic
-		case "double":
-			opt.Probing = hashtable.Double
-		case "quadratic-double":
-			opt.Probing = hashtable.QuadraticDouble
-		default:
-			fmt.Fprintf(os.Stderr, "nulpa: bad -probing %q\n", *probing)
-			os.Exit(2)
-		}
-		if *backend == "direct" {
-			opt.Backend = nulpa.BackendDirect
-		} else {
-			opt.Device = simt.NewDevice(*sms)
-			opt.Device.MemBudget = *membudget
-		}
-		if rec != nil {
-			opt.Profiler = rec
-			opt.TrackStats = true
-		}
-		res, err := nulpa.Detect(g, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
-			os.Exit(1)
-		}
-		labels, dur, iters = res.Labels, res.Duration, res.Iterations
-		converged = fmt.Sprint(res.Converged)
-		iterRecs = res.Trace
-	case "flpa":
-		res := flpa.Detect(g, flpa.Options{Seed: *seed})
-		labels, dur = res.Labels, res.Duration
-		iters = int(res.Steps)
-		iterRecs = res.Trace
-		if rec != nil {
-			rec.AddIterRecords(res.Trace)
-		}
-	case "plp":
-		res := plp.Detect(g, plp.DefaultOptions())
-		labels, dur, iters = res.Labels, res.Duration, res.Iterations
-		converged = fmt.Sprint(res.Converged)
-		iterRecs = res.Trace
-		if rec != nil {
-			rec.AddIterRecords(res.Trace)
-		}
-	case "gvelpa":
-		res := gvelpa.Detect(g, gvelpa.DefaultOptions())
-		labels, dur, iters = res.Labels, res.Duration, res.Iterations
-		converged = fmt.Sprint(res.Converged)
-		iterRecs = res.Trace
-		if rec != nil {
-			rec.AddIterRecords(res.Trace)
-		}
-	case "gunrock":
-		res := gunrock.Detect(g, gunrock.DefaultOptions())
-		labels, dur, iters = res.Labels, res.Duration, res.Iterations
-		converged = fmt.Sprint(res.Converged)
-		iterRecs = res.Trace
-		if rec != nil {
-			rec.AddIterRecords(res.Trace)
-		}
-	case "louvain":
-		res := louvain.Detect(g, louvain.DefaultOptions())
-		labels, dur, iters = res.Labels, res.Duration, res.Iterations
-	case "slpa":
-		opt := variants.DefaultSLPAOptions()
-		opt.Seed = *seed
-		res := variants.SLPA(g, opt)
-		labels, dur, iters = res.Labels, res.Duration, res.Iterations
-	case "copra":
-		res := variants.COPRA(g, variants.DefaultCOPRAOptions())
-		labels, dur, iters = res.Labels, res.Duration, res.Iterations
-		converged = fmt.Sprint(res.Converged)
-	case "labelrank":
-		res := variants.LabelRank(g, variants.DefaultLabelRankOptions())
-		labels, dur, iters = res.Labels, res.Duration, res.Iterations
-		converged = fmt.Sprint(res.Converged)
-	default:
-		fmt.Fprintf(os.Stderr, "nulpa: bad -algo %q\n", *algo)
-		os.Exit(2)
+	res, err := det.Detect(g, eopt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+		os.Exit(1)
 	}
 
-	sum := quality.Summarize(g, labels)
-	rate := float64(st.NumArcs) / dur.Seconds() / 1e6
+	sum := quality.Summarize(g, res.Labels)
+	rate := float64(st.NumArcs) / res.Duration.Seconds() / 1e6
 	fmt.Printf("algo: %s\n", *algo)
-	fmt.Printf("time: %v (%.1fM arcs/s)\n", dur.Round(time.Microsecond), rate)
-	fmt.Printf("iterations: %d  converged: %s\n", iters, converged)
+	fmt.Printf("time: %v (%.1fM arcs/s)\n", res.Duration.Round(time.Microsecond), rate)
+	fmt.Printf("iterations: %d  converged: %v\n", res.Iterations, res.Converged)
 	fmt.Printf("result: %s\n", sum)
 
 	if *trace {
-		fmt.Print(telemetry.FormatIters(iterRecs))
+		fmt.Print(telemetry.FormatIters(res.Trace))
 		if s := rec.Summary(); s != "" {
 			fmt.Print(s)
 		}
@@ -206,7 +160,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
 			os.Exit(1)
 		}
-		for v, c := range labels {
+		for v, c := range res.Labels {
 			fmt.Fprintf(f, "%d %d\n", v, c)
 		}
 		if err := f.Close(); err != nil {

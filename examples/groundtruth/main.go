@@ -1,7 +1,9 @@
-// Groundtruth: evaluate all six algorithms against planted ground-truth
-// communities with NMI — the complement to modularity the paper cites (LPA
-// achieves high NMI relative to ground truth even where its modularity
-// trails Louvain).
+// Groundtruth: evaluate the detection engine's algorithms against planted
+// ground-truth communities with NMI — the complement to modularity the paper
+// cites (LPA achieves high NMI relative to ground truth even where its
+// modularity trails Louvain). Every method is reached through the engine
+// registry, so adding an algorithm name to the list below is the whole
+// change needed to extend the comparison.
 //
 // Run with: go run ./examples/groundtruth
 package main
@@ -9,15 +11,10 @@ package main
 import (
 	"fmt"
 	"log"
-	"time"
 
-	"nulpa/internal/flpa"
+	"nulpa/internal/engine"
+	_ "nulpa/internal/engine/all"
 	"nulpa/internal/gen"
-	"nulpa/internal/gunrock"
-	"nulpa/internal/gvelpa"
-	"nulpa/internal/louvain"
-	"nulpa/internal/nulpa"
-	"nulpa/internal/plp"
 	"nulpa/internal/quality"
 )
 
@@ -30,27 +27,17 @@ func main() {
 	fmt.Printf("planted graph: %d vertices, %d edges, 50 communities\n\n", g.NumVertices(), g.NumEdges())
 	fmt.Printf("%-15s %10s %8s %12s %8s\n", "method", "time", "NMI", "modularity", "comms")
 
-	report := func(name string, d time.Duration, labels []uint32) {
-		fmt.Printf("%-15s %10v %8.3f %12.4f %8d\n", name, d.Round(1000),
-			quality.NMI(labels, truth), quality.Modularity(g, labels),
-			quality.CountCommunities(labels))
+	for _, name := range []string{"nulpa-direct", "flpa", "plp", "gvelpa", "gunrock", "louvain"} {
+		det, err := engine.MustGet(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := det.Detect(g, engine.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %10v %8.3f %12.4f %8d\n", name, res.Duration.Round(1000),
+			quality.NMI(res.Labels, truth), quality.Modularity(g, res.Labels),
+			res.Communities)
 	}
-
-	opt := nulpa.DefaultOptions()
-	opt.Backend = nulpa.BackendDirect
-	if res, err := nulpa.Detect(g, opt); err == nil {
-		report("nu-LPA", res.Duration, res.Labels)
-	} else {
-		log.Fatal(err)
-	}
-	r1 := flpa.Detect(g, flpa.DefaultOptions())
-	report("FLPA", r1.Duration, r1.Labels)
-	r2 := plp.Detect(g, plp.DefaultOptions())
-	report("NetworKit PLP", r2.Duration, r2.Labels)
-	r3 := gvelpa.Detect(g, gvelpa.DefaultOptions())
-	report("GVE-LPA", r3.Duration, r3.Labels)
-	r4 := gunrock.Detect(g, gunrock.DefaultOptions())
-	report("Gunrock LPA", r4.Duration, r4.Labels)
-	r5 := louvain.Detect(g, louvain.DefaultOptions())
-	report("Louvain", r5.Duration, r5.Labels)
 }

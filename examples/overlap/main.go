@@ -2,13 +2,20 @@
 // the capability the multi-label variants add over plain LPA — plus a
 // drill-down into the largest community with an induced subgraph.
 //
+// SLPA is dispatched through the engine registry like every other method;
+// the overlapping memberships live in the native result, recovered from
+// Result.Extra (the engine's escape hatch for algorithm-specific output).
+//
 // Run with: go run ./examples/overlap
 package main
 
 import (
 	"fmt"
+	"log"
 	"sort"
 
+	"nulpa/internal/engine"
+	_ "nulpa/internal/engine/all"
 	"nulpa/internal/gen"
 	"nulpa/internal/graph"
 	"nulpa/internal/quality"
@@ -19,15 +26,26 @@ func main() {
 	g, truth := gen.Social(gen.DefaultSocial(5000, 16, 33))
 	fmt.Printf("social network: %d users, %d ties\n\n", g.NumVertices(), g.NumEdges())
 
-	res := variants.SLPA(g, variants.DefaultSLPAOptions())
+	det, err := engine.MustGet("slpa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := det.Detect(g, engine.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("SLPA: %v, %d disjoint communities (NMI vs planted %.3f)\n",
-		res.Duration.Round(1000), quality.CountCommunities(res.Labels),
+		res.Duration.Round(1000), res.Communities,
 		quality.NMI(res.Labels, truth))
+
+	// The engine result carries the disjoint projection; the overlapping
+	// memory lives in the native SLPA result riding along in Extra.
+	native := res.Extra.(*variants.SLPAResult)
 
 	// Overlap extraction at different memory thresholds.
 	fmt.Println("\noverlapping membership by threshold:")
 	for _, frac := range []float64{0.05, 0.15, 0.30} {
-		over := res.OverlapThreshold(frac)
+		over := native.OverlapThreshold(frac)
 		multi := 0
 		total := 0
 		for _, ls := range over {

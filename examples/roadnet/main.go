@@ -1,8 +1,8 @@
 // Roadnet: community detection as a graph-partitioning primitive on a road
 // network — the application the paper's conclusion points to. Road networks
 // are where ν-LPA beats FLPA on quality in the paper's Figure 6c; this
-// example reproduces that comparison and reports the edge cut of the
-// resulting partition.
+// example reproduces that comparison through the engine registry and reports
+// the edge cut of the resulting partition.
 //
 // Run with: go run ./examples/roadnet
 package main
@@ -11,10 +11,10 @@ import (
 	"fmt"
 	"log"
 
-	"nulpa/internal/flpa"
+	"nulpa/internal/engine"
+	_ "nulpa/internal/engine/all"
 	"nulpa/internal/gen"
 	"nulpa/internal/graph"
-	"nulpa/internal/nulpa"
 	"nulpa/internal/quality"
 )
 
@@ -23,22 +23,29 @@ func main() {
 	fmt.Printf("road network stand-in: %d junctions/segments, %d road links, avg degree %.1f\n",
 		g.NumVertices(), g.NumEdges(), g.AvgDegree())
 
-	opt := nulpa.DefaultOptions()
-	opt.Backend = nulpa.BackendDirect
-	nu, err := nulpa.Detect(g, opt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fl := flpa.Detect(g, flpa.DefaultOptions())
+	nu := detect(g, "nulpa-direct")
+	fl := detect(g, "flpa")
 
 	qNu := quality.Modularity(g, nu.Labels)
 	qFl := quality.Modularity(g, fl.Labels)
 	fmt.Printf("nu-LPA: %8v  Q=%.4f  regions=%d  cut=%.1f%%\n",
-		nu.Duration.Round(1000), qNu, quality.CountCommunities(nu.Labels), 100*cutFraction(g, nu.Labels))
+		nu.Duration.Round(1000), qNu, nu.Communities, 100*cutFraction(g, nu.Labels))
 	fmt.Printf("FLPA:   %8v  Q=%.4f  regions=%d  cut=%.1f%%\n",
-		fl.Duration.Round(1000), qFl, quality.CountCommunities(fl.Labels), 100*cutFraction(g, fl.Labels))
+		fl.Duration.Round(1000), qFl, fl.Communities, 100*cutFraction(g, fl.Labels))
 	fmt.Printf("\nmodularity advantage of nu-LPA over FLPA: %+.1f%% (paper: +4.7%% on road/k-mer classes)\n",
 		100*(qNu-qFl)/qFl)
+}
+
+func detect(g *graph.CSR, name string) *engine.Result {
+	det, err := engine.MustGet(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := det.Detect(g, engine.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }
 
 // cutFraction returns the fraction of edges crossing region boundaries —

@@ -1,7 +1,7 @@
 // Webgraph: the paper's headline use case — community detection on a web
-// crawl. Compares ν-LPA against Louvain on a copy-model web graph: LPA-class
-// speed at somewhat lower modularity (the paper's trade-off: 37× faster,
-// −9.6% modularity).
+// crawl. Compares ν-LPA against Louvain on a copy-model web graph through
+// the engine registry: LPA-class speed at somewhat lower modularity (the
+// paper's trade-off: 37× faster, −9.6% modularity).
 //
 // Run with: go run ./examples/webgraph
 package main
@@ -11,9 +11,10 @@ import (
 	"log"
 	"sort"
 
+	"nulpa/internal/engine"
+	_ "nulpa/internal/engine/all"
 	"nulpa/internal/gen"
-	"nulpa/internal/louvain"
-	"nulpa/internal/nulpa"
+	"nulpa/internal/graph"
 	"nulpa/internal/quality"
 )
 
@@ -22,20 +23,15 @@ func main() {
 	fmt.Printf("web crawl stand-in: %d pages, %d links\n", g.NumVertices(), g.NumEdges())
 
 	// ν-LPA, direct multicore backend (the fair-timing mode).
-	opt := nulpa.DefaultOptions()
-	opt.Backend = nulpa.BackendDirect
-	nu, err := nulpa.Detect(g, opt)
-	if err != nil {
-		log.Fatal(err)
-	}
+	nu := detect(g, "nulpa-direct")
 	qNu := quality.Modularity(g, nu.Labels)
 	fmt.Printf("nu-LPA:  %8v  Q=%.4f  communities=%d\n",
-		nu.Duration.Round(1000), qNu, quality.CountCommunities(nu.Labels))
+		nu.Duration.Round(1000), qNu, nu.Communities)
 
-	lv := louvain.Detect(g, louvain.DefaultOptions())
+	lv := detect(g, "louvain")
 	qLv := quality.Modularity(g, lv.Labels)
 	fmt.Printf("louvain: %8v  Q=%.4f  communities=%d\n",
-		lv.Duration.Round(1000), qLv, quality.CountCommunities(lv.Labels))
+		lv.Duration.Round(1000), qLv, lv.Communities)
 
 	fmt.Printf("\nspeedup %.1f×, modularity gap %+.1f%%\n",
 		float64(lv.Duration)/float64(nu.Duration), 100*(qNu-qLv)/qLv)
@@ -55,4 +51,16 @@ func main() {
 	for i := 0; i < 5 && i < len(all); i++ {
 		fmt.Printf("  community %-8d %6d pages\n", all[i].c, all[i].n)
 	}
+}
+
+func detect(g *graph.CSR, name string) *engine.Result {
+	det, err := engine.MustGet(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := det.Detect(g, engine.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }

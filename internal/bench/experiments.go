@@ -5,14 +5,11 @@ import (
 	"io"
 	"time"
 
-	"nulpa/internal/flpa"
+	"nulpa/internal/engine"
+	_ "nulpa/internal/engine/all" // register every detector
 	"nulpa/internal/graph"
-	"nulpa/internal/gunrock"
-	"nulpa/internal/gvelpa"
 	"nulpa/internal/hashtable"
-	"nulpa/internal/louvain"
 	"nulpa/internal/nulpa"
-	"nulpa/internal/plp"
 	"nulpa/internal/quality"
 	"nulpa/internal/simt"
 )
@@ -47,54 +44,57 @@ func (c *Config) progressf(format string, args ...any) {
 	}
 }
 
-// ExperimentIDs lists the experiment identifiers in DESIGN.md order: the
-// paper's figures/tables first, then the repository's extension experiments
-// (ablations and the cited selection study).
+// Experiment is one entry of the experiment catalogue: a stable id and the
+// function that produces its tables.
+type Experiment struct {
+	ID string
+	Fn func(Config) []Table
+}
+
+// experiments is the single source of truth for the experiment list, in
+// DESIGN.md order: the paper's figures/tables first, then the repository's
+// extension experiments (ablations and the cited selection study). Both the
+// id listing and Run derive from it.
+var experiments = []Experiment{
+	{"fig-swap", FigSwap},
+	{"fig-probe", FigProbe},
+	{"fig-switch", FigSwitchDegree},
+	{"fig-dtype", FigValueType},
+	{"fig-coalesced", FigCoalesced},
+	{"tab-dataset", TabDataset},
+	{"fig-compare", FigCompare},
+	{"fig-iters", FigIters},
+	{"abl-pruning", AblPruning},
+	{"abl-blockdim", AblBlockDim},
+	{"abl-reorder", AblReorder},
+	{"fig-variants", FigVariants},
+	{"tab-partition", TabPartition},
+}
+
+// ExperimentIDs lists the experiment identifiers in catalogue order.
 func ExperimentIDs() []string {
-	return []string{
-		"fig-swap", "fig-probe", "fig-switch", "fig-dtype", "fig-coalesced",
-		"tab-dataset", "fig-compare", "fig-iters",
-		"abl-pruning", "abl-blockdim", "abl-reorder", "fig-variants", "tab-partition",
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.ID
 	}
+	return ids
 }
 
 // Run executes one experiment by id and returns its tables.
 func Run(id string, cfg Config) ([]Table, error) {
 	cfg.defaults()
-	switch id {
-	case "fig-swap":
-		return FigSwap(cfg), nil
-	case "fig-probe":
-		return FigProbe(cfg), nil
-	case "fig-switch":
-		return FigSwitchDegree(cfg), nil
-	case "fig-dtype":
-		return FigValueType(cfg), nil
-	case "fig-coalesced":
-		return FigCoalesced(cfg), nil
-	case "tab-dataset":
-		return TabDataset(cfg), nil
-	case "fig-compare":
-		return FigCompare(cfg), nil
-	case "fig-iters":
-		return FigIters(cfg), nil
-	case "abl-pruning":
-		return AblPruning(cfg), nil
-	case "abl-blockdim":
-		return AblBlockDim(cfg), nil
-	case "abl-reorder":
-		return AblReorder(cfg), nil
-	case "fig-variants":
-		return FigVariants(cfg), nil
-	case "tab-partition":
-		return TabPartition(cfg), nil
-	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (want one of %v)", id, ExperimentIDs())
+	for _, e := range experiments {
+		if e.ID == id {
+			return e.Fn(cfg), nil
+		}
 	}
+	return nil, fmt.Errorf("bench: unknown experiment %q (want one of %v)", id, ExperimentIDs())
 }
 
 // runNu executes ν-LPA with opt, repeating cfg.Reps times and keeping the
-// fastest run.
+// fastest run. The paper-specific sweeps (probing, switch degree, mitigation
+// schedules, …) use it because they exercise nulpa.Options knobs; the
+// cross-algorithm experiments go through runEngine instead.
 func runNu(cfg Config, g *graph.CSR, opt nulpa.Options) *nulpa.Result {
 	var best *nulpa.Result
 	for r := 0; r < cfg.Reps; r++ {
@@ -102,6 +102,31 @@ func runNu(cfg Config, g *graph.CSR, opt nulpa.Options) *nulpa.Result {
 			opt.Device = simt.NewDevice(cfg.SMs)
 		}
 		res, err := nulpa.Detect(g, opt)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		if best == nil || res.Duration < best.Duration {
+			best = res
+		}
+	}
+	return best
+}
+
+// runEngine executes the registered detector name on g, repeating cfg.Reps
+// times and keeping the fastest run. cfg.SMs maps onto engine Workers
+// (simulated SMs for the SIMT backend, OS workers for the multicore
+// algorithms).
+func runEngine(cfg Config, g *graph.CSR, name string, opt engine.Options) *engine.Result {
+	det, err := engine.MustGet(name)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	if opt.Workers == 0 {
+		opt.Workers = cfg.SMs
+	}
+	var best *engine.Result
+	for r := 0; r < cfg.Reps; r++ {
+		res, err := det.Detect(g, opt)
 		if err != nil {
 			panic("bench: " + err.Error())
 		}
@@ -401,68 +426,33 @@ func TabDataset(cfg Config) []Table {
 	return []Table{tbl}
 }
 
+// figCompareMethods lists the registry names Figure 6 compares, in display
+// order; figCompareBaseline is the speedup reference. The README's baseline
+// table maps the registry names to the paper's method names.
+var figCompareMethods = []string{"flpa", "plp", "gvelpa", "gunrock", "louvain", "nulpa", "nulpa-direct"}
+
+const figCompareBaseline = "nulpa-direct"
+
 // FigCompare regenerates Figure 6: absolute runtime, speedup, and modularity
-// of FLPA, NetworKit PLP, GVE-LPA, Gunrock-style LPA, Louvain, and ν-LPA
-// (both the simulated-GPU run and the direct multicore run of the same
-// algorithm).
+// of every compared method — the CPU and GPU baselines plus ν-LPA on both
+// backends — dispatched uniformly through the engine registry.
 func FigCompare(cfg Config) []Table {
 	cfg.defaults()
-	methods := []string{"FLPA", "NetworKit PLP", "GVE-LPA", "Gunrock LPA", "Louvain", "nu-LPA (simt)", "nu-LPA (direct)"}
+	methods := figCompareMethods
 	times := map[string]map[string]time.Duration{}
 	mods := map[string]map[string]float64{}
 	for _, m := range methods {
 		times[m] = map[string]time.Duration{}
 		mods[m] = map[string]float64{}
 	}
-	minDur := func(run func() (time.Duration, []uint32)) (time.Duration, []uint32) {
-		var bd time.Duration
-		var bl []uint32
-		for r := 0; r < cfg.Reps; r++ {
-			d, l := run()
-			if bl == nil || d < bd {
-				bd, bl = d, l
-			}
-		}
-		return bd, bl
-	}
 	for _, name := range cfg.Graphs {
 		g := Graph(name, cfg.Scale)
-		record := func(m string, d time.Duration, labels []uint32) {
-			times[m][name] = d
-			mods[m][name] = quality.Modularity(g, labels)
-			cfg.progressf("fig-compare %s %s: %v Q=%.4f\n", name, m, d, mods[m][name])
+		for _, m := range methods {
+			res := runEngine(cfg, g, m, engine.DefaultOptions())
+			times[m][name] = res.Duration
+			mods[m][name] = quality.Modularity(g, res.Labels)
+			cfg.progressf("fig-compare %s %s: %v Q=%.4f\n", name, m, res.Duration, mods[m][name])
 		}
-		d, l := minDur(func() (time.Duration, []uint32) {
-			r := flpa.Detect(g, flpa.DefaultOptions())
-			return r.Duration, r.Labels
-		})
-		record("FLPA", d, l)
-		d, l = minDur(func() (time.Duration, []uint32) {
-			r := plp.Detect(g, plp.DefaultOptions())
-			return r.Duration, r.Labels
-		})
-		record("NetworKit PLP", d, l)
-		d, l = minDur(func() (time.Duration, []uint32) {
-			r := gvelpa.Detect(g, gvelpa.DefaultOptions())
-			return r.Duration, r.Labels
-		})
-		record("GVE-LPA", d, l)
-		d, l = minDur(func() (time.Duration, []uint32) {
-			r := gunrock.Detect(g, gunrock.DefaultOptions())
-			return r.Duration, r.Labels
-		})
-		record("Gunrock LPA", d, l)
-		d, l = minDur(func() (time.Duration, []uint32) {
-			r := louvain.Detect(g, louvain.DefaultOptions())
-			return r.Duration, r.Labels
-		})
-		record("Louvain", d, l)
-		rs := runNu(cfg, g, nulpa.DefaultOptions())
-		record("nu-LPA (simt)", rs.Duration, rs.Labels)
-		od := nulpa.DefaultOptions()
-		od.Backend = nulpa.BackendDirect
-		rd := runNu(cfg, g, od)
-		record("nu-LPA (direct)", rd.Duration, rd.Labels)
 	}
 
 	runtime := Table{
@@ -480,7 +470,7 @@ func FigCompare(cfg Config) []Table {
 
 	speedup := Table{
 		ID:     "fig-compare-speedup",
-		Title:  "Speedup of ν-LPA (direct) over each method (Figure 6b)",
+		Title:  "Speedup of " + figCompareBaseline + " over each method (Figure 6b)",
 		Header: []string{"method", "speedup (geomean)"},
 		Notes: []string{
 			"Paper (A100 vs Xeon): 364× over FLPA, 62× over NetworKit, 2.6× over Gunrock, 37× over cuGraph Louvain.",
@@ -488,13 +478,13 @@ func FigCompare(cfg Config) []Table {
 		},
 	}
 	for _, m := range methods {
-		if m == "nu-LPA (direct)" {
+		if m == figCompareBaseline {
 			continue
 		}
 		var xs []float64
 		for _, name := range cfg.Graphs {
-			if times["nu-LPA (direct)"][name] > 0 {
-				xs = append(xs, float64(times[m][name])/float64(times["nu-LPA (direct)"][name]))
+			if times[figCompareBaseline][name] > 0 {
+				xs = append(xs, float64(times[m][name])/float64(times[figCompareBaseline][name]))
 			}
 		}
 		speedup.Rows = append(speedup.Rows, []string{m, fmt.Sprintf("%.2f×", geomean(xs))})

@@ -5,13 +5,13 @@ import (
 	"math/rand"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/gen"
 	"nulpa/internal/graph"
 	"nulpa/internal/nulpa"
 	"nulpa/internal/partition"
 	"nulpa/internal/quality"
 	"nulpa/internal/reorder"
-	"nulpa/internal/variants"
 )
 
 // Extension experiments beyond the paper's figures: the ablations DESIGN.md
@@ -92,10 +92,14 @@ func AblBlockDim(cfg Config) []Table {
 	return []Table{tbl}
 }
 
+// figVariantsMethods lists the registry names of the selection study: plain
+// (direct-backend) LPA against the overlapping label-propagation variants.
+var figVariantsMethods = []string{"nulpa-direct", "slpa", "copra", "labelrank"}
+
 // FigVariants reproduces the selection-study comparison the paper cites in
 // §1: plain LPA vs SLPA, COPRA, and LabelRank on ground-truth graphs —
 // "LPA emerged as the most efficient, delivering communities of comparable
-// quality".
+// quality" — dispatched through the engine registry.
 func FigVariants(cfg Config) []Table {
 	cfg.defaults()
 	type cell struct {
@@ -103,33 +107,23 @@ func FigVariants(cfg Config) []Table {
 		nmi float64
 		mod float64
 	}
-	methods := []string{"nu-LPA", "SLPA", "COPRA", "LabelRank"}
+	methods := figVariantsMethods
 	cells := map[string][]cell{}
 	sizes := []int{2000, 5000}
 	if cfg.Scale == Small {
 		sizes = []int{500, 1500}
 	}
+	one := cfg
+	one.Reps = 1
 	for _, n := range sizes {
 		g, truth := gen.Planted(gen.PlantedConfig{
 			N: n, Communities: n / 50, DegIn: 10, DegOut: 2, Seed: int64(n),
 		})
-		record := func(m string, d time.Duration, labels []uint32) {
-			cells[m] = append(cells[m], cell{d, quality.NMI(labels, truth), quality.Modularity(g, labels)})
-			cfg.progressf("fig-variants n=%d %s: %v\n", n, m, d)
+		for _, m := range methods {
+			res := runEngine(one, g, m, engine.DefaultOptions())
+			cells[m] = append(cells[m], cell{res.Duration, quality.NMI(res.Labels, truth), quality.Modularity(g, res.Labels)})
+			cfg.progressf("fig-variants n=%d %s: %v\n", n, m, res.Duration)
 		}
-		opt := nulpa.DefaultOptions()
-		opt.Backend = nulpa.BackendDirect
-		res, err := nulpa.Detect(g, opt)
-		if err != nil {
-			panic("bench: " + err.Error())
-		}
-		record("nu-LPA", res.Duration, res.Labels)
-		s := variants.SLPA(g, variants.DefaultSLPAOptions())
-		record("SLPA", s.Duration, s.Labels)
-		c := variants.COPRA(g, variants.DefaultCOPRAOptions())
-		record("COPRA", c.Duration, c.Labels)
-		l := variants.LabelRank(g, variants.DefaultLabelRankOptions())
-		record("LabelRank", l.Duration, l.Labels)
 	}
 	tbl := Table{
 		ID:     "fig-variants",

@@ -4,14 +4,14 @@ import (
 	"fmt"
 	"time"
 
-	"nulpa/internal/flpa"
-	"nulpa/internal/gunrock"
-	"nulpa/internal/gvelpa"
-	"nulpa/internal/nulpa"
-	"nulpa/internal/plp"
-	"nulpa/internal/simt"
+	"nulpa/internal/engine"
 	"nulpa/internal/telemetry"
 )
+
+// figItersMethods lists the registry names whose convergence traces Figure's
+// iteration study records: ν-LPA plus the LPA baselines with a per-round
+// notion of ΔN.
+var figItersMethods = []string{"nulpa", "flpa", "plp", "gvelpa", "gunrock"}
 
 // FigIters records the per-iteration convergence behaviour of ν-LPA and the
 // LPA baselines: how ΔN (net labels changed) decays, where Pick-Less rounds
@@ -34,24 +34,20 @@ func FigIters(cfg Config) []Table {
 		method string
 		trace  []telemetry.IterRecord
 	}
+	// Traces come from single runs (no min-of-reps: the trace IS the data).
+	one := cfg
+	one.Reps = 1
 	for _, name := range cfg.Graphs {
 		g := Graph(name, cfg.Scale)
 		var runs []run
-
-		prof := telemetry.NewRecorder()
-		opt := nulpa.DefaultOptions()
-		opt.Device = simt.NewDevice(cfg.SMs)
-		opt.Profiler = prof
-		opt.TrackStats = true
-		nu, err := nulpa.Detect(g, opt)
-		if err != nil {
-			panic("bench: " + err.Error())
+		for _, m := range figItersMethods {
+			opt := engine.DefaultOptions()
+			// A live profiler unlocks the detailed trace fields (pruned
+			// counts on the ν-LPA backends).
+			opt.Profiler = telemetry.NewRecorder()
+			res := runEngine(one, g, m, opt)
+			runs = append(runs, run{m, res.Trace})
 		}
-		runs = append(runs, run{"nu-LPA", nu.Trace})
-		runs = append(runs, run{"FLPA", flpa.Detect(g, flpa.DefaultOptions()).Trace})
-		runs = append(runs, run{"NetworKit PLP", plp.Detect(g, plp.DefaultOptions()).Trace})
-		runs = append(runs, run{"GVE-LPA", gvelpa.Detect(g, gvelpa.DefaultOptions()).Trace})
-		runs = append(runs, run{"Gunrock LPA", gunrock.Detect(g, gunrock.DefaultOptions()).Trace})
 
 		for _, r := range runs {
 			tbl.Rows = append(tbl.Rows, iterRow(name, r.method, r.trace))

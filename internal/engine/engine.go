@@ -1,0 +1,109 @@
+// Package engine is the unified community-detection seam of the repository:
+// a Detector interface every algorithm implements, a string-keyed registry
+// that the CLIs and the experiment harness dispatch through, and the shared
+// machinery the implementations previously duplicated — the tolerance-based
+// convergence loop (Loop), label renumbering (CompressLabels), and
+// per-iteration telemetry emission.
+//
+// Layering: engine depends only on the graph and telemetry substrates.
+// Algorithm packages (nulpa, flpa, plp, gvelpa, gunrock, louvain, variants)
+// import engine and register a Detector in their init; consumers import
+// nulpa/internal/engine/all for its registration side effect and then reach
+// every algorithm by name. Cross-algorithm imports are forbidden (enforced
+// by `make lint`): the registry is the only seam between an algorithm and
+// the rest of the system, which is what lets new backends and workloads plug
+// in without a tenth copy of the dispatch switch.
+package engine
+
+import (
+	"time"
+
+	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
+)
+
+// Detector is a community-detection algorithm registered with the engine.
+// Implementations must be safe for repeated Detect calls; each call is an
+// independent run.
+type Detector interface {
+	// Name is the registry key, e.g. "nulpa" or "flpa". Stable, lowercase,
+	// flag-friendly.
+	Name() string
+	// Detect runs the algorithm on g. The graph must be undirected, as
+	// produced by the graph package builders.
+	Detect(g *graph.CSR, opt Options) (*Result, error)
+}
+
+// Options is the unified run configuration shared by every detector. The
+// zero value of each field means "use the algorithm's published default", so
+// Options{} runs any detector in its reference configuration. Fields a
+// detector has no analogue for are ignored (documented per adapter).
+type Options struct {
+	// MaxIterations caps the algorithm's outer loop (propagation rounds;
+	// aggregation levels for Louvain). 0 keeps the algorithm's default.
+	MaxIterations int
+	// Tolerance is the convergence threshold τ for tolerance-based loops:
+	// the run stops once fewer than τ·|V| vertices change in an iteration.
+	// 0 keeps the algorithm's default.
+	Tolerance float64
+	// Seed drives any randomness the algorithm uses (tie-breaking, speaker
+	// choices). Detectors run deterministically for a fixed Seed when
+	// Workers is 1.
+	Seed int64
+	// Workers bounds parallelism: OS-thread workers for the multicore
+	// algorithms, simulated streaming multiprocessors for the SIMT backend.
+	// 0 selects the host default (GOMAXPROCS).
+	Workers int
+	// BlockDim is the threads-per-block launch parameter for GPU-style
+	// detectors. 0 keeps the detector's default.
+	BlockDim int
+	// Profiler, when non-nil, receives every per-iteration record as it is
+	// produced (and device-level kernel events where the backend supports
+	// them) — the telemetry sink behind cmd/nulpa's -trace and -profile.
+	Profiler *telemetry.Recorder
+	// Extra is the per-algorithm extension point: a detector may accept its
+	// package Options type here for full control of algorithm-specific
+	// parameters (for example nulpa.Options to sweep Pick-Less periods).
+	// Detectors reject Extra values of the wrong type with an error rather
+	// than ignoring them.
+	Extra any
+}
+
+// DefaultOptions returns the engine-level defaults: algorithm-published
+// parameters and a fixed seed.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// Result is the unified outcome of a Detect call.
+type Result struct {
+	// Labels is the community membership of every vertex, compressed to the
+	// dense range [0, Communities).
+	Labels []uint32
+	// Communities is the number of distinct communities in Labels.
+	Communities int
+	// Iterations is the number of outer-loop rounds performed (queue
+	// generations for FLPA, aggregation levels for Louvain).
+	Iterations int
+	// Converged reports whether the algorithm's own stopping rule ended the
+	// run (false when an iteration cap was exhausted first, and for
+	// fixed-budget algorithms with no stopping rule).
+	Converged bool
+	// Trace holds one telemetry record per iteration, in order.
+	Trace []telemetry.IterRecord
+	// Duration is the wall time of the detection loop (excluding graph
+	// loading and result conversion).
+	Duration time.Duration
+	// MemoryBytes is the algorithm-managed working memory of the run —
+	// simulated device memory for the SIMT backend, per-thread table bytes
+	// for GVE-LPA; 0 when the algorithm does not account for it.
+	MemoryBytes int64
+	// Extra carries the algorithm's native result (for example
+	// *nulpa.Result) for consumers that need backend-specific detail.
+	Extra any
+}
+
+// NewResult builds a Result from raw per-vertex labels, compressing them and
+// counting communities. Adapters fill the remaining fields.
+func NewResult(labels []uint32) *Result {
+	compressed, k := CompressLabels(labels)
+	return &Result{Labels: compressed, Communities: k}
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"time"
+
+	"nulpa/internal/telemetry"
+)
+
+// LoopConfig parameterizes the shared convergence loop.
+type LoopConfig struct {
+	// MaxIterations caps the loop; exhausting it leaves Converged false.
+	MaxIterations int
+	// Threshold is the absolute convergence bound: the loop stops once an
+	// iteration's net ΔN falls strictly below it (detectors derive it from
+	// their tolerance, e.g. τ·|V|, or use 1 for "no change at all").
+	Threshold float64
+	// Profiler, when non-nil, receives each iteration's record as it
+	// completes.
+	Profiler *telemetry.Recorder
+}
+
+// IterOutcome is what one iteration of a detector reports back to Loop.
+type IterOutcome struct {
+	// Record carries the iteration's telemetry. Loop stamps Iter, and fills
+	// Duration with the measured body wall time when the detector leaves it
+	// zero.
+	Record telemetry.IterRecord
+	// ForceContinue suppresses the threshold test for this iteration —
+	// ν-LPA's Pick-Less rounds intentionally move few vertices and must not
+	// count as convergence.
+	ForceContinue bool
+	// Stop ends the loop immediately, marking the run converged (e.g. a
+	// detector-specific fixed-point rule).
+	Stop bool
+}
+
+// LoopResult is the bookkeeping Loop accumulates for the detector's result.
+type LoopResult struct {
+	Iterations int
+	Converged  bool
+	Trace      []telemetry.IterRecord
+	Duration   time.Duration
+}
+
+// Loop drives the tolerance-based convergence loop every synchronous-round
+// implementation previously hand-rolled: per-iteration timing, telemetry
+// emission (trace plus optional live profiler), and the ΔN-below-threshold
+// stopping rule. body performs one full iteration and reports its outcome.
+func Loop(cfg LoopConfig, body func(iter int) IterOutcome) LoopResult {
+	var lr LoopResult
+	start := time.Now()
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		iterStart := time.Now()
+		out := body(iter)
+		rec := out.Record
+		rec.Iter = iter
+		if rec.Duration == 0 {
+			rec.Duration = time.Since(iterStart)
+		}
+		if cfg.Profiler != nil {
+			cfg.Profiler.RecordIteration(rec)
+		}
+		lr.Trace = append(lr.Trace, rec)
+		lr.Iterations = iter + 1
+		if out.Stop {
+			lr.Converged = true
+			break
+		}
+		if !out.ForceContinue && float64(rec.DeltaN) < cfg.Threshold {
+			lr.Converged = true
+			break
+		}
+	}
+	lr.Duration = time.Since(start)
+	return lr
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Detector{}
+)
+
+// Register adds d to the global registry under d.Name(). Algorithm packages
+// call it from init; importing nulpa/internal/engine/all registers every
+// detector in the repository. Register panics on an empty or duplicate name
+// — both are programmer errors that must fail loudly at startup.
+func Register(d Detector) {
+	name := d.Name()
+	if name == "" {
+		panic("engine: Register with empty detector name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("engine: duplicate detector " + name)
+	}
+	registry[name] = d
+}
+
+// Get returns the detector registered under name.
+func Get(name string) (Detector, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := registry[name]
+	return d, ok
+}
+
+// MustGet returns the detector registered under name or an error naming the
+// available detectors — the shared "unknown algorithm" failure of the CLIs
+// and the bench harness.
+func MustGet(name string) (Detector, error) {
+	if d, ok := Get(name); ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("engine: unknown detector %q (want one of %v)", name, List())
+}
+
+// List returns the registered detector names, sorted.
+func List() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

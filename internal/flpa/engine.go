@@ -1,0 +1,45 @@
+package flpa
+
+import (
+	"fmt"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+)
+
+func init() { engine.Register(Detector{}) }
+
+// Detector adapts FLPA to the engine seam. FLPA has no synchronous rounds:
+// engine.MaxIterations and Tolerance are ignored (the queue draining is the
+// convergence rule), Seed drives dominant-label tie-breaking, and Extra may
+// carry a full flpa.Options (for a MaxSteps safety bound).
+type Detector struct{}
+
+// Name implements engine.Detector.
+func (Detector) Name() string { return "flpa" }
+
+// Detect implements engine.Detector.
+func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	fopt := DefaultOptions()
+	if opt.Extra != nil {
+		o, ok := opt.Extra.(Options)
+		if !ok {
+			return nil, fmt.Errorf("flpa: Extra must be flpa.Options, got %T", opt.Extra)
+		}
+		fopt = o
+	}
+	if opt.Seed != 0 {
+		fopt.Seed = opt.Seed
+	}
+	if opt.Profiler != nil {
+		fopt.Profiler = opt.Profiler
+	}
+	fres := Detect(g, fopt)
+	res := engine.NewResult(fres.Labels)
+	res.Iterations = len(fres.Trace)
+	res.Converged = fopt.MaxSteps == 0 || fres.Steps < fopt.MaxSteps
+	res.Trace = fres.Trace
+	res.Duration = fres.Duration
+	res.Extra = fres
+	return res, nil
+}

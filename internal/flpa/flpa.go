@@ -23,6 +23,9 @@ type Options struct {
 	// terminates when the queue empties, which it always does because
 	// vertices re-enter only on neighbourhood change).
 	MaxSteps int64
+	// Profiler, when non-nil, receives each queue-generation record as it
+	// completes.
+	Profiler *telemetry.Recorder
 }
 
 // DefaultOptions returns the reference configuration.
@@ -73,12 +76,16 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		if genSteps == 0 {
 			return
 		}
-		res.Trace = append(res.Trace, telemetry.IterRecord{
+		rec := telemetry.IterRecord{
 			Iter:     len(res.Trace),
 			Moves:    genMoves,
 			DeltaN:   genMoves,
 			Duration: time.Since(genStart),
-		})
+		}
+		if opt.Profiler != nil {
+			opt.Profiler.RecordIteration(rec)
+		}
+		res.Trace = append(res.Trace, rec)
 		genMoves, genSteps = 0, 0
 		genStart = time.Now()
 	}

@@ -1,0 +1,48 @@
+package gunrock
+
+import (
+	"fmt"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+)
+
+func init() { engine.Register(Detector{}) }
+
+// Detector adapts the Gunrock-style synchronous LPA to the engine seam.
+// Tolerance, Seed, and BlockDim are ignored — the algorithm is a fixed-rule
+// Jacobi iteration with a smallest-label tie-break and a "no vertex changed"
+// stopping rule. Extra may carry a full gunrock.Options.
+type Detector struct{}
+
+// Name implements engine.Detector.
+func (Detector) Name() string { return "gunrock" }
+
+// Detect implements engine.Detector.
+func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	gopt := DefaultOptions()
+	if opt.Extra != nil {
+		o, ok := opt.Extra.(Options)
+		if !ok {
+			return nil, fmt.Errorf("gunrock: Extra must be gunrock.Options, got %T", opt.Extra)
+		}
+		gopt = o
+	}
+	if opt.MaxIterations > 0 {
+		gopt.MaxIterations = opt.MaxIterations
+	}
+	if opt.Workers > 0 {
+		gopt.Workers = opt.Workers
+	}
+	if opt.Profiler != nil {
+		gopt.Profiler = opt.Profiler
+	}
+	gres := Detect(g, gopt)
+	res := engine.NewResult(gres.Labels)
+	res.Iterations = gres.Iterations
+	res.Converged = gres.Converged
+	res.Trace = gres.Trace
+	res.Duration = gres.Duration
+	res.Extra = gres
+	return res, nil
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
 	"nulpa/internal/telemetry"
 )
@@ -24,6 +25,9 @@ type Options struct {
 	MaxIterations int
 	// Workers bounds parallelism; 0 selects GOMAXPROCS.
 	Workers int
+	// Profiler, when non-nil, receives each iteration's record as it
+	// completes.
+	Profiler *telemetry.Recorder
 }
 
 // DefaultOptions returns the reference configuration.
@@ -56,10 +60,13 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		cur[i] = uint32(i)
 	}
 	res := &Result{}
-	start := time.Now()
 	const chunk = 2048
-	for iter := 0; iter < opt.MaxIterations; iter++ {
-		iterStart := time.Now()
+	// Threshold 1 is the strict "no vertex changed" rule: ΔN < 1 ⇔ ΔN = 0.
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.MaxIterations,
+		Threshold:     1,
+		Profiler:      opt.Profiler,
+	}, func(iter int) engine.IterOutcome {
 		var changed int64
 		var cursor int64
 		var wg sync.WaitGroup
@@ -111,16 +118,12 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		}
 		wg.Wait()
 		cur, next = next, cur
-		res.Iterations = iter + 1
-		res.Trace = append(res.Trace, telemetry.IterRecord{
-			Iter: iter, Moves: changed, DeltaN: changed, Duration: time.Since(iterStart),
-		})
-		if changed == 0 {
-			res.Converged = true
-			break
-		}
-	}
-	res.Duration = time.Since(start)
+		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: changed, DeltaN: changed}}
+	})
+	res.Iterations = lr.Iterations
+	res.Converged = lr.Converged
+	res.Trace = lr.Trace
+	res.Duration = lr.Duration
 	res.Labels = cur
 	return res
 }

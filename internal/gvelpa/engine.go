@@ -1,0 +1,51 @@
+package gvelpa
+
+import (
+	"fmt"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+)
+
+func init() { engine.Register(Detector{}) }
+
+// Detector adapts GVE-LPA to the engine seam. Seed and BlockDim are ignored
+// — the rotation tie-break is deterministic by construction. Extra may carry
+// a full gvelpa.Options.
+type Detector struct{}
+
+// Name implements engine.Detector.
+func (Detector) Name() string { return "gvelpa" }
+
+// Detect implements engine.Detector.
+func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	gopt := DefaultOptions()
+	if opt.Extra != nil {
+		o, ok := opt.Extra.(Options)
+		if !ok {
+			return nil, fmt.Errorf("gvelpa: Extra must be gvelpa.Options, got %T", opt.Extra)
+		}
+		gopt = o
+	}
+	if opt.MaxIterations > 0 {
+		gopt.MaxIterations = opt.MaxIterations
+	}
+	if opt.Tolerance > 0 {
+		gopt.Tolerance = opt.Tolerance
+	}
+	if opt.Workers > 0 {
+		gopt.Workers = opt.Workers
+	}
+	if opt.Profiler != nil {
+		gopt.Profiler = opt.Profiler
+	}
+	gres := Detect(g, gopt)
+	res := engine.NewResult(gres.Labels)
+	res.Iterations = gres.Iterations
+	res.Converged = gres.Converged
+	res.Trace = gres.Trace
+	res.Duration = gres.Duration
+	res.MemoryBytes = gres.ThreadTableBytes
+	res.Extra = gres
+	return res, nil
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
 	"nulpa/internal/telemetry"
 )
@@ -25,6 +26,9 @@ type Options struct {
 	Tolerance float64
 	// Workers bounds parallelism; 0 selects GOMAXPROCS.
 	Workers int
+	// Profiler, when non-nil, receives each iteration's record as it
+	// completes.
+	Profiler *telemetry.Recorder
 }
 
 // DefaultOptions returns the GVE-LPA published configuration.
@@ -116,10 +120,12 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	}
 
 	res := &Result{ThreadTableBytes: int64(workers) * int64(n) * 8}
-	start := time.Now()
 	const chunk = 2048
-	for iter := 0; iter < opt.MaxIterations; iter++ {
-		iterStart := time.Now()
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.MaxIterations,
+		Threshold:     opt.Tolerance * float64(n),
+		Profiler:      opt.Profiler,
+	}, func(iter int) engine.IterOutcome {
 		var changed int64
 		var cursor int64
 		var wg sync.WaitGroup
@@ -172,16 +178,12 @@ func Detect(g *graph.CSR, opt Options) *Result {
 			}(w)
 		}
 		wg.Wait()
-		res.Iterations = iter + 1
-		res.Trace = append(res.Trace, telemetry.IterRecord{
-			Iter: iter, Moves: changed, DeltaN: changed, Duration: time.Since(iterStart),
-		})
-		if float64(changed) < opt.Tolerance*float64(n) {
-			res.Converged = true
-			break
-		}
-	}
-	res.Duration = time.Since(start)
+		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: changed, DeltaN: changed}}
+	})
+	res.Iterations = lr.Iterations
+	res.Converged = lr.Converged
+	res.Trace = lr.Trace
+	res.Duration = lr.Duration
 	res.Labels = labels
 	return res
 }

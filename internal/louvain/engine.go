@@ -1,0 +1,52 @@
+package louvain
+
+import (
+	"fmt"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+)
+
+func init() { engine.Register(Detector{}) }
+
+// Detector adapts the Louvain method to the engine seam. MaxIterations maps
+// onto aggregation levels (Louvain's outer loop); Tolerance onto the
+// local-moving gain threshold; Seed and BlockDim are ignored — the sequential
+// sweep is deterministic. Extra may carry a full louvain.Options (resolution,
+// per-level sweep caps, the parallel local-moving relaxation).
+type Detector struct{}
+
+// Name implements engine.Detector.
+func (Detector) Name() string { return "louvain" }
+
+// Detect implements engine.Detector.
+func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	lopt := DefaultOptions()
+	if opt.Extra != nil {
+		o, ok := opt.Extra.(Options)
+		if !ok {
+			return nil, fmt.Errorf("louvain: Extra must be louvain.Options, got %T", opt.Extra)
+		}
+		lopt = o
+	}
+	if opt.MaxIterations > 0 {
+		lopt.MaxLevels = opt.MaxIterations
+	}
+	if opt.Tolerance > 0 {
+		lopt.Tolerance = opt.Tolerance
+	}
+	if opt.Workers > 0 {
+		lopt.Workers = opt.Workers
+	}
+	if opt.Profiler != nil {
+		lopt.Profiler = opt.Profiler
+	}
+	lres := Detect(g, lopt)
+	res := engine.NewResult(lres.Labels)
+	res.Iterations = lres.Levels
+	res.Converged = lres.Converged
+	res.Trace = lres.Trace
+	res.Duration = lres.Duration
+	res.Extra = lres
+	return res, nil
+}

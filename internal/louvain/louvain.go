@@ -17,7 +17,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
 )
 
 // Options configure a Louvain run.
@@ -35,6 +37,9 @@ type Options struct {
 	// atomic community-total accounting — the relaxation cuGraph and
 	// GVE-Louvain use. 0 or 1 selects the classic sequential sweep.
 	Workers int
+	// Profiler, when non-nil, receives one record per aggregation level as
+	// it completes.
+	Profiler *telemetry.Recorder
 }
 
 // DefaultOptions mirrors typical library defaults (cuGraph: resolution 1,
@@ -51,7 +56,14 @@ type Result struct {
 	Levels int
 	// Iterations is the total count of local-moving sweeps across levels.
 	Iterations int
-	Duration   time.Duration
+	// Converged reports that the level loop reached its own fixed point
+	// (no move improved modularity, or no contraction was possible) rather
+	// than exhausting MaxLevels.
+	Converged bool
+	Duration  time.Duration
+	// Trace records one telemetry record per aggregation level — Louvain's
+	// outer iteration — with Moves counting the local moves of the level.
+	Trace []telemetry.IterRecord
 }
 
 // Detect runs the Louvain method on g.
@@ -65,7 +77,6 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	if opt.MaxLocalIterations <= 0 {
 		opt.MaxLocalIterations = 50
 	}
-	start := time.Now()
 	res := &Result{}
 
 	n := g.NumVertices()
@@ -76,18 +87,25 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		membership[i] = uint32(i)
 	}
 	work := g
-	for level := 0; level < opt.MaxLevels; level++ {
+	// One engine iteration = one aggregation level. Threshold 1 converges
+	// when a level moves nothing; Stop covers the no-contraction fixed point.
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.MaxLevels,
+		Threshold:     1,
+		Profiler:      opt.Profiler,
+	}, func(level int) engine.IterOutcome {
 		var comm []uint32
-		var moved bool
+		var moves int64
 		var sweeps int
 		if opt.Workers > 1 {
-			comm, moved, sweeps = localMoveParallel(work, opt)
+			comm, moves, sweeps = localMoveParallel(work, opt)
 		} else {
-			comm, moved, sweeps = localMove(work, opt)
+			comm, moves, sweeps = localMove(work, opt)
 		}
 		res.Iterations += sweeps
-		if !moved {
-			break
+		out := engine.IterOutcome{Record: telemetry.IterRecord{Moves: moves, DeltaN: moves}}
+		if moves == 0 {
+			return out
 		}
 		res.Levels++
 		comm, numComm := compactLabels(comm)
@@ -95,18 +113,25 @@ func Detect(g *graph.CSR, opt Options) *Result {
 			membership[v] = comm[membership[v]]
 		}
 		if numComm == work.NumVertices() {
-			break // no contraction possible; fixed point
+			out.Stop = true // no contraction possible; fixed point
+			return out
 		}
 		work = aggregate(work, comm, numComm)
-	}
+		return out
+	})
+	res.Converged = lr.Converged
+	res.Trace = lr.Trace
 	res.Labels = membership
-	res.Duration = time.Since(start)
+	res.Duration = lr.Duration
 	return res
 }
 
 // localMove performs modularity-greedy label sweeps on g and returns the
-// community of each vertex, whether any vertex moved, and the sweep count.
-func localMove(g *graph.CSR, opt Options) (comm []uint32, moved bool, sweeps int) {
+// community of each vertex, the number of moves performed, and the sweep
+// count. The candidate scan walks communities in first-encounter (adjacency)
+// order via the keys list rather than Go's randomized map order, so the
+// sequential sweep is fully deterministic.
+func localMove(g *graph.CSR, opt Options) (comm []uint32, moves int64, sweeps int) {
 	n := g.NumVertices()
 	twoM := g.TotalWeight()
 	comm = make([]uint32, n)
@@ -118,10 +143,11 @@ func localMove(g *graph.CSR, opt Options) (comm []uint32, moved bool, sweeps int
 		sigma[v] = ki[v]
 	}
 	if twoM == 0 {
-		return comm, false, 0
+		return comm, 0, 0
 	}
 	gamma := opt.Resolution
 	neigh := make(map[uint32]float64)
+	var keys []uint32
 	for sweeps = 0; sweeps < opt.MaxLocalIterations; sweeps++ {
 		changes := 0
 		var gain float64
@@ -132,21 +158,26 @@ func localMove(g *graph.CSR, opt Options) (comm []uint32, moved bool, sweeps int
 				continue
 			}
 			clear(neigh)
+			keys = keys[:0]
 			for k, j := range ts {
 				if j == u {
 					continue
 				}
-				neigh[comm[j]] += float64(ws[k])
+				c := comm[j]
+				if _, seen := neigh[c]; !seen {
+					keys = append(keys, c)
+				}
+				neigh[c] += float64(ws[k])
 			}
 			d := comm[v]
 			// Remove v from its community for the comparison.
 			sigma[d] -= ki[v]
 			best, bestGain := d, neigh[d]-gamma*sigma[d]*ki[v]/twoM
-			for c, kvc := range neigh {
+			for _, c := range keys {
 				if c == d {
 					continue
 				}
-				gc := kvc - gamma*sigma[c]*ki[v]/twoM
+				gc := neigh[c] - gamma*sigma[c]*ki[v]/twoM
 				if gc > bestGain+1e-12 || (gc == bestGain && c < best) {
 					best, bestGain = c, gc
 				}
@@ -158,30 +189,19 @@ func localMove(g *graph.CSR, opt Options) (comm []uint32, moved bool, sweeps int
 				gain += (bestGain - (neigh[d] - gamma*sigma[d]*ki[v]/twoM)) / (twoM / 2)
 			}
 		}
-		if changes > 0 {
-			moved = true
-		}
+		moves += int64(changes)
 		if changes == 0 || gain < opt.Tolerance {
 			sweeps++
 			break
 		}
 	}
-	return comm, moved, sweeps
+	return comm, moves, sweeps
 }
 
-// compactLabels renumbers community ids densely.
+// compactLabels renumbers community ids densely (the engine's shared
+// renumbering, kept under its historical package-local name).
 func compactLabels(comm []uint32) ([]uint32, int) {
-	remap := make(map[uint32]uint32, len(comm)/4)
-	out := make([]uint32, len(comm))
-	for i, c := range comm {
-		id, ok := remap[c]
-		if !ok {
-			id = uint32(len(remap))
-			remap[c] = id
-		}
-		out[i] = id
-	}
-	return out, len(remap)
+	return engine.CompressLabels(comm)
 }
 
 // aggregate contracts every community of g into a super-vertex. Intra-
@@ -257,7 +277,7 @@ func sortAdj(g *graph.CSR) {
 // worker keeps its own neighbour-weight accumulator. Decisions use slightly
 // stale Σtot values — the standard parallel-Louvain relaxation, repaired by
 // subsequent sweeps.
-func localMoveParallel(g *graph.CSR, opt Options) (comm []uint32, moved bool, sweeps int) {
+func localMoveParallel(g *graph.CSR, opt Options) (comm []uint32, moves int64, sweeps int) {
 	n := g.NumVertices()
 	twoM := g.TotalWeight()
 	workers := opt.Workers
@@ -273,7 +293,7 @@ func localMoveParallel(g *graph.CSR, opt Options) (comm []uint32, moved bool, sw
 		sigmaBits[v] = math.Float64bits(ki[v])
 	}
 	if twoM == 0 {
-		return comm, false, 0
+		return comm, 0, 0
 	}
 	gamma := opt.Resolution
 	const chunk = 1024
@@ -336,9 +356,7 @@ func localMoveParallel(g *graph.CSR, opt Options) (comm []uint32, moved bool, sw
 			}()
 		}
 		wg.Wait()
-		if changes > 0 {
-			moved = true
-		}
+		moves += changes
 		// Parallel sweeps lack a cheap exact gain total; stop when the
 		// change count collapses.
 		if changes == 0 || float64(changes) < 1e-3*float64(n) {
@@ -346,7 +364,7 @@ func localMoveParallel(g *graph.CSR, opt Options) (comm []uint32, moved bool, sw
 			break
 		}
 	}
-	return comm, moved, sweeps
+	return comm, moves, sweeps
 }
 
 func loadFloat(bits []uint64, i int) float64 {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
 	"nulpa/internal/hashtable"
 	"nulpa/internal/simt"
@@ -100,9 +101,11 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 	tk := &threadKernel{runState: st, list: low, cand: make([]uint32, len(low))}
 	bk := &blockKernel{runState: st, list: high, blockDim: opt.BlockDim}
 
-	start := time.Now()
-	for iter := 0; iter < opt.MaxIterations; iter++ {
-		iterStart := time.Now()
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.MaxIterations,
+		Threshold:     opt.Tolerance * float64(n),
+		Profiler:      opt.Profiler,
+	}, func(iter int) engine.IterOutcome {
 		st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
 		crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
 		atomic.StoreInt64(&st.deltaN, 0)
@@ -142,14 +145,12 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 		res.Reverts += reverts
 		res.DeltaHistory = append(res.DeltaHistory, delta)
 		rec := IterStat{
-			Iter:         iter,
 			PickLess:     st.pickless,
 			CrossCheck:   crosscheck,
 			Moves:        gross,
 			Reverts:      reverts,
 			DeltaN:       delta,
 			Pruned:       pruned,
-			Duration:     time.Since(iterStart),
 			ThreadKernel: tkDur,
 			BlockKernel:  bkDur,
 			CrossKernel:  ckDur,
@@ -162,23 +163,19 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 			rec.HashCollisions = d.Collisions
 			rec.HashFallbacks = d.Fallbacks
 		}
-		if opt.Profiler != nil {
-			opt.Profiler.RecordIteration(rec)
+		return engine.IterOutcome{
+			Record: rec,
+			// Pick-Less iterations intentionally move few vertices and must
+			// not count as convergence.
+			ForceContinue: st.pickless,
+			// A fixed point under permanent Pick-Less is also converged.
+			Stop: delta == 0 && opt.PickLessEvery == 1,
 		}
-		res.Trace = append(res.Trace, rec)
-		res.Iterations = iter + 1
-
-		if !st.pickless && float64(delta) < opt.Tolerance*float64(n) {
-			res.Converged = true
-			break
-		}
-		// A fixed point under permanent Pick-Less is also converged.
-		if delta == 0 && opt.PickLessEvery == 1 {
-			res.Converged = true
-			break
-		}
-	}
-	res.Duration = time.Since(start)
+	})
+	res.Iterations = lr.Iterations
+	res.Converged = lr.Converged
+	res.Trace = lr.Trace
+	res.Duration = lr.Duration
 	res.Labels = st.labels
 	return res, nil
 }

@@ -4,8 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
 	"nulpa/internal/hashtable"
 	"nulpa/internal/simt"
@@ -42,9 +42,11 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 	}
 
 	const chunk = 1024
-	start := time.Now()
-	for iter := 0; iter < opt.MaxIterations; iter++ {
-		iterStart := time.Now()
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.MaxIterations,
+		Threshold:     opt.Tolerance * float64(n),
+		Profiler:      opt.Profiler,
+	}, func(iter int) engine.IterOutcome {
 		st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
 		crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
 		atomic.StoreInt64(&st.deltaN, 0)
@@ -105,14 +107,12 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 		res.Reverts += reverts
 		res.DeltaHistory = append(res.DeltaHistory, delta)
 		rec := IterStat{
-			Iter:       iter,
 			PickLess:   st.pickless,
 			CrossCheck: crosscheck,
 			Moves:      gross,
 			Reverts:    reverts,
 			DeltaN:     delta,
 			Pruned:     pruned,
-			Duration:   time.Since(iterStart),
 		}
 		if res.HashStats != nil {
 			d := res.HashStats.Snapshot().Sub(hashBase)
@@ -121,21 +121,16 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 			rec.HashCollisions = d.Collisions
 			rec.HashFallbacks = d.Fallbacks
 		}
-		if opt.Profiler != nil {
-			opt.Profiler.RecordIteration(rec)
+		return engine.IterOutcome{
+			Record:        rec,
+			ForceContinue: st.pickless,
+			Stop:          delta == 0 && opt.PickLessEvery == 1,
 		}
-		res.Trace = append(res.Trace, rec)
-		res.Iterations = iter + 1
-		if !st.pickless && float64(delta) < opt.Tolerance*float64(n) {
-			res.Converged = true
-			break
-		}
-		if delta == 0 && opt.PickLessEvery == 1 {
-			res.Converged = true
-			break
-		}
-	}
-	res.Duration = time.Since(start)
+	})
+	res.Iterations = lr.Iterations
+	res.Converged = lr.Converged
+	res.Trace = lr.Trace
+	res.Duration = lr.Duration
 	res.Labels = st.labels
 	return res, nil
 }

@@ -1,0 +1,79 @@
+package nulpa
+
+import (
+	"fmt"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+	"nulpa/internal/simt"
+)
+
+func init() {
+	engine.Register(Detector{Backend: BackendSIMT})
+	engine.Register(Detector{Backend: BackendDirect})
+}
+
+// Detector adapts ν-LPA to the engine seam. The two backends register as
+// separate detectors ("nulpa" and "nulpa-direct") because they are compared
+// against each other in the figure experiments.
+type Detector struct {
+	Backend Backend
+}
+
+// Name implements engine.Detector.
+func (d Detector) Name() string {
+	if d.Backend == BackendDirect {
+		return "nulpa-direct"
+	}
+	return "nulpa"
+}
+
+// Detect implements engine.Detector. Engine options map onto the paper
+// configuration: MaxIterations and Tolerance override the published defaults
+// when non-zero, BlockDim sets the launch width, Workers bounds direct-mode
+// parallelism (and, for the SIMT backend, the simulated SM count). Seed is
+// ignored — ν-LPA is deterministic by construction. Extra may carry a full
+// nulpa.Options to control the algorithm-specific knobs (Pick-Less and
+// Cross-Check periods, probing scheme, switch degree, pruning).
+func (d Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	nopt := DefaultOptions()
+	if opt.Extra != nil {
+		o, ok := opt.Extra.(Options)
+		if !ok {
+			return nil, fmt.Errorf("nulpa: Extra must be nulpa.Options, got %T", opt.Extra)
+		}
+		nopt = o
+	}
+	nopt.Backend = d.Backend
+	if opt.MaxIterations > 0 {
+		nopt.MaxIterations = opt.MaxIterations
+	}
+	if opt.Tolerance > 0 {
+		nopt.Tolerance = opt.Tolerance
+	}
+	if opt.BlockDim > 0 {
+		nopt.BlockDim = opt.BlockDim
+	}
+	if opt.Workers > 0 {
+		nopt.Workers = opt.Workers
+		if d.Backend == BackendSIMT && nopt.Device == nil {
+			nopt.Device = simt.NewDevice(opt.Workers)
+		}
+	}
+	if opt.Profiler != nil {
+		nopt.Profiler = opt.Profiler
+		nopt.TrackStats = true
+	}
+	nres, err := Detect(g, nopt)
+	if err != nil {
+		return nil, err
+	}
+	res := engine.NewResult(nres.Labels)
+	res.Iterations = nres.Iterations
+	res.Converged = nres.Converged
+	res.Trace = nres.Trace
+	res.Duration = nres.Duration
+	res.MemoryBytes = nres.DeviceBytes
+	res.Extra = nres
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package plp
+
+import (
+	"fmt"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+)
+
+func init() { engine.Register(Detector{}) }
+
+// Detector adapts NetworKit PLP to the engine seam. Engine-dispatched runs
+// use the Deterministic ascending-label scan (the literal std::map order);
+// Seed and BlockDim are ignored — PLP draws no random numbers. Extra may
+// carry a full plp.Options.
+type Detector struct{}
+
+// Name implements engine.Detector.
+func (Detector) Name() string { return "plp" }
+
+// Detect implements engine.Detector.
+func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	popt := DefaultOptions()
+	popt.Deterministic = true
+	if opt.Extra != nil {
+		o, ok := opt.Extra.(Options)
+		if !ok {
+			return nil, fmt.Errorf("plp: Extra must be plp.Options, got %T", opt.Extra)
+		}
+		popt = o
+	}
+	if opt.MaxIterations > 0 {
+		popt.MaxIterations = opt.MaxIterations
+	}
+	if opt.Tolerance > 0 {
+		popt.Tolerance = opt.Tolerance
+	}
+	if opt.Workers > 0 {
+		popt.Workers = opt.Workers
+	}
+	if opt.Profiler != nil {
+		popt.Profiler = opt.Profiler
+	}
+	pres := Detect(g, popt)
+	res := engine.NewResult(pres.Labels)
+	res.Iterations = pres.Iterations
+	res.Converged = pres.Converged
+	res.Trace = pres.Trace
+	res.Duration = pres.Duration
+	res.Extra = pres
+	return res, nil
+}

@@ -9,10 +9,12 @@ package plp
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
 	"nulpa/internal/telemetry"
 )
@@ -27,6 +29,14 @@ type Options struct {
 	MaxIterations int
 	// Workers bounds parallelism; 0 selects GOMAXPROCS.
 	Workers int
+	// Deterministic scans candidate labels in ascending order — the literal
+	// std::map scan order of NetworKit — instead of Go's randomized map
+	// order. With Workers = 1 this makes runs bit-identical; it is the mode
+	// engine-dispatched runs use.
+	Deterministic bool
+	// Profiler, when non-nil, receives each iteration's record as it
+	// completes.
+	Profiler *telemetry.Recorder
 }
 
 // DefaultOptions returns NetworKit's defaults.
@@ -73,11 +83,13 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	}
 
 	res := &Result{}
-	start := time.Now()
-	for iter := 0; iter < opt.MaxIterations; iter++ {
-		iterStart := time.Now()
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.MaxIterations,
+		Threshold:     theta,
+		Profiler:      opt.Profiler,
+	}, func(iter int) engine.IterOutcome {
 		var updated int64
-		runGuided(n, workers, func(lo, hi int, acc map[uint32]float64) {
+		runGuided(n, workers, func(lo, hi int, sc *scratch) {
 			var local int64
 			for v := lo; v < hi; v++ {
 				if atomicLoad(active, v) == 0 {
@@ -86,6 +98,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 				atomicStore(active, v, 0)
 				u := graph.Vertex(v)
 				ts, ws := g.Neighbors(u)
+				acc := sc.acc
 				clear(acc)
 				for k, w := range ts {
 					if w == u {
@@ -98,14 +111,29 @@ func Detect(g *graph.CSR, opt Options) *Result {
 				}
 				cur := labels[v]
 				best, bestW := cur, -1.0
-				// First strict maximum in map order. NetworKit scans its
-				// std::map and keeps the first heaviest label; Go's
-				// randomized map order stands in for that scan order and
-				// doubles as the tie-breaking randomness that keeps one
-				// label from cascading across communities in a sweep.
-				for c, w := range acc {
-					if w > bestW {
-						best, bestW = c, w
+				if opt.Deterministic {
+					// The literal std::map scan: ascending label order,
+					// first strict maximum wins.
+					sc.keys = sc.keys[:0]
+					for c := range acc {
+						sc.keys = append(sc.keys, c)
+					}
+					slices.Sort(sc.keys)
+					for _, c := range sc.keys {
+						if w := acc[c]; w > bestW {
+							best, bestW = c, w
+						}
+					}
+				} else {
+					// First strict maximum in map order. NetworKit scans its
+					// std::map and keeps the first heaviest label; Go's
+					// randomized map order stands in for that scan order and
+					// doubles as the tie-breaking randomness that keeps one
+					// label from cascading across communities in a sweep.
+					for c, w := range acc {
+						if w > bestW {
+							best, bestW = c, w
+						}
 					}
 				}
 				// Keep the current label when it ties the maximum
@@ -125,33 +153,35 @@ func Detect(g *graph.CSR, opt Options) *Result {
 				atomic.AddInt64(&updated, local)
 			}
 		})
-		res.Iterations = iter + 1
-		res.Trace = append(res.Trace, telemetry.IterRecord{
-			Iter: iter, Moves: updated, DeltaN: updated, Duration: time.Since(iterStart),
-		})
-		if float64(updated) < theta {
-			res.Converged = true
-			break
-		}
-	}
-	res.Duration = time.Since(start)
+		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: updated, DeltaN: updated}}
+	})
+	res.Iterations = lr.Iterations
+	res.Converged = lr.Converged
+	res.Trace = lr.Trace
+	res.Duration = lr.Duration
 	res.Labels = labels
 	return res
 }
 
+// scratch is the per-worker reusable state: the map accumulator (NetworKit's
+// per-call std::map, hoisted as NetworKit effectively does through the
+// allocator) and the sorted-key buffer of the deterministic scan.
+type scratch struct {
+	acc  map[uint32]float64
+	keys []uint32
+}
+
 // runGuided mimics OpenMP's guided schedule: chunk sizes start at
 // remaining/(2·workers) and shrink as the iteration space drains, with a
-// floor of 64. Each worker owns a reusable map accumulator (NetworKit's
-// per-call std::map, hoisted as NetworKit effectively does through the
-// allocator).
-func runGuided(n, workers int, body func(lo, hi int, acc map[uint32]float64)) {
+// floor of 64. Each worker owns a reusable scratch.
+func runGuided(n, workers int, body func(lo, hi int, sc *scratch)) {
 	var cursor int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			acc := make(map[uint32]float64)
+			sc := &scratch{acc: make(map[uint32]float64)}
 			for {
 				lo := atomic.LoadInt64(&cursor)
 				if lo >= int64(n) {
@@ -169,7 +199,7 @@ func runGuided(n, workers int, body func(lo, hi int, acc map[uint32]float64)) {
 				if !atomic.CompareAndSwapInt64(&cursor, lo, hi) {
 					continue
 				}
-				body(int(lo), int(hi), acc)
+				body(int(lo), int(hi), sc)
 			}
 		}()
 	}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
 )
 
@@ -120,19 +121,10 @@ func CountCommunities(labels []uint32) int {
 
 // Compact renumbers labels to the dense range [0, count) preserving the
 // partition, and returns the new labels and the community count. Useful
-// before NMI or serialization.
+// before NMI or serialization. It is the engine's canonical compression,
+// re-exported here for callers working with quality metrics.
 func Compact(labels []uint32) ([]uint32, int) {
-	remap := make(map[uint32]uint32)
-	out := make([]uint32, len(labels))
-	for i, c := range labels {
-		id, ok := remap[c]
-		if !ok {
-			id = uint32(len(remap))
-			remap[c] = id
-		}
-		out[i] = id
-	}
-	return out, len(remap)
+	return engine.CompressLabels(labels)
 }
 
 // NMI computes the Normalized Mutual Information between two community

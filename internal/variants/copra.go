@@ -4,7 +4,9 @@ import (
 	"sort"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
 )
 
 // COPRAOptions configure Community Overlap PRopagation (Gregory 2010).
@@ -15,6 +17,8 @@ type COPRAOptions struct {
 	MaxLabels int
 	// MaxIterations caps propagation rounds.
 	MaxIterations int
+	// Profiler, when non-nil, receives each round's record as it completes.
+	Profiler *telemetry.Recorder
 }
 
 // DefaultCOPRAOptions returns the reference configuration (v = 2 behaves
@@ -32,6 +36,9 @@ type COPRAResult struct {
 	Iterations int
 	Converged  bool
 	Duration   time.Duration
+	// Trace records one telemetry record per round (moves = vertices whose
+	// dominant label changed).
+	Trace []telemetry.IterRecord
 }
 
 // COPRA runs Community Overlap PRopagation: every vertex holds belonging
@@ -55,9 +62,12 @@ func COPRA(g *graph.CSR, opt COPRAOptions) *COPRAResult {
 		next[v] = map[uint32]float64{}
 	}
 	res := &COPRAResult{}
-	start := time.Now()
 	prevDominant := make([]uint32, n)
-	for it := 0; it < opt.MaxIterations; it++ {
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.MaxIterations,
+		Threshold:     0,
+		Profiler:      opt.Profiler,
+	}, func(it int) engine.IterOutcome {
 		for v := 0; v < n; v++ {
 			ts, ws := g.Neighbors(graph.Vertex(v))
 			out := next[v]
@@ -96,28 +106,33 @@ func COPRA(g *graph.CSR, opt COPRAOptions) *COPRAResult {
 			filterBelonging(out, threshold, opt.MaxLabels, uint32(v))
 		}
 		cur, next = next, cur
-		res.Iterations = it + 1
 
-		stable := true
+		var changed int64
 		for v := 0; v < n; v++ {
 			d := dominantLabel(cur[v], uint32(v))
 			if d != prevDominant[v] {
-				stable = false
+				changed++
 			}
 			prevDominant[v] = d
 		}
-		if stable && it > 0 {
-			res.Converged = true
-			break
+		return engine.IterOutcome{
+			Record: telemetry.IterRecord{Moves: changed, DeltaN: changed},
+			// COPRA's own rule: stop once dominant labels are stable across
+			// a full round (never on the first, where dominants are still
+			// the initial singletons).
+			Stop: changed == 0 && it > 0,
 		}
-	}
+	})
+	res.Iterations = lr.Iterations
+	res.Converged = lr.Converged
+	res.Trace = lr.Trace
 	labels := make([]uint32, n)
 	for v := 0; v < n; v++ {
 		labels[v] = dominantLabel(cur[v], uint32(v))
 	}
 	res.Labels = labels
 	res.Belonging = cur
-	res.Duration = time.Since(start)
+	res.Duration = lr.Duration
 	return res
 }
 

@@ -1,0 +1,117 @@
+package variants
+
+import (
+	"fmt"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+)
+
+func init() {
+	engine.Register(slpaDetector{})
+	engine.Register(copraDetector{})
+	engine.Register(labelRankDetector{})
+}
+
+// The variant detectors expose the overlapping-community methods through the
+// engine seam with their dominant-label (disjoint) projection — the form the
+// selection study compares against plain LPA. The native results, including
+// the overlap structures, ride along in Result.Extra.
+
+type slpaDetector struct{}
+
+func (slpaDetector) Name() string { return "slpa" }
+
+// Detect maps MaxIterations onto SLPA's fixed speaking budget T and Seed onto
+// the speaker RNG; Tolerance, Workers, and BlockDim are ignored (sequential,
+// no convergence rule). Extra may carry a full variants.SLPAOptions.
+func (slpaDetector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	sopt := DefaultSLPAOptions()
+	if opt.Extra != nil {
+		o, ok := opt.Extra.(SLPAOptions)
+		if !ok {
+			return nil, fmt.Errorf("slpa: Extra must be variants.SLPAOptions, got %T", opt.Extra)
+		}
+		sopt = o
+	}
+	if opt.MaxIterations > 0 {
+		sopt.Iterations = opt.MaxIterations
+	}
+	if opt.Seed != 0 {
+		sopt.Seed = opt.Seed
+	}
+	if opt.Profiler != nil {
+		sopt.Profiler = opt.Profiler
+	}
+	sres := SLPA(g, sopt)
+	res := engine.NewResult(sres.Labels)
+	res.Iterations = sres.Iterations
+	res.Trace = sres.Trace
+	res.Duration = sres.Duration
+	res.Extra = sres
+	return res, nil
+}
+
+type copraDetector struct{}
+
+func (copraDetector) Name() string { return "copra" }
+
+// Detect maps MaxIterations onto COPRA's round cap; Tolerance, Seed, Workers,
+// and BlockDim are ignored (sequential and deterministic). Extra may carry a
+// full variants.COPRAOptions (notably the label capacity v).
+func (copraDetector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	copt := DefaultCOPRAOptions()
+	if opt.Extra != nil {
+		o, ok := opt.Extra.(COPRAOptions)
+		if !ok {
+			return nil, fmt.Errorf("copra: Extra must be variants.COPRAOptions, got %T", opt.Extra)
+		}
+		copt = o
+	}
+	if opt.MaxIterations > 0 {
+		copt.MaxIterations = opt.MaxIterations
+	}
+	if opt.Profiler != nil {
+		copt.Profiler = opt.Profiler
+	}
+	cres := COPRA(g, copt)
+	res := engine.NewResult(cres.Labels)
+	res.Iterations = cres.Iterations
+	res.Converged = cres.Converged
+	res.Trace = cres.Trace
+	res.Duration = cres.Duration
+	res.Extra = cres
+	return res, nil
+}
+
+type labelRankDetector struct{}
+
+func (labelRankDetector) Name() string { return "labelrank" }
+
+// Detect maps MaxIterations onto LabelRank's round cap; Tolerance, Seed,
+// Workers, and BlockDim are ignored (sequential and deterministic). Extra may
+// carry a full variants.LabelRankOptions (inflation, cutoff, conditional q).
+func (labelRankDetector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	lopt := DefaultLabelRankOptions()
+	if opt.Extra != nil {
+		o, ok := opt.Extra.(LabelRankOptions)
+		if !ok {
+			return nil, fmt.Errorf("labelrank: Extra must be variants.LabelRankOptions, got %T", opt.Extra)
+		}
+		lopt = o
+	}
+	if opt.MaxIterations > 0 {
+		lopt.MaxIterations = opt.MaxIterations
+	}
+	if opt.Profiler != nil {
+		lopt.Profiler = opt.Profiler
+	}
+	lres := LabelRank(g, lopt)
+	res := engine.NewResult(lres.Labels)
+	res.Iterations = lres.Iterations
+	res.Converged = lres.Converged
+	res.Trace = lres.Trace
+	res.Duration = lres.Duration
+	res.Extra = lres
+	return res, nil
+}

@@ -2,9 +2,12 @@ package variants
 
 import (
 	"math"
+	"slices"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
 )
 
 // LabelRankOptions configure LabelRank (Xie & Szymanski 2013), the
@@ -23,6 +26,8 @@ type LabelRankOptions struct {
 	ConditionalQ float64
 	// MaxIterations caps rounds.
 	MaxIterations int
+	// Profiler, when non-nil, receives each round's record as it completes.
+	Profiler *telemetry.Recorder
 }
 
 // DefaultLabelRankOptions returns the reference configuration.
@@ -36,6 +41,9 @@ type LabelRankResult struct {
 	Iterations int
 	Converged  bool
 	Duration   time.Duration
+	// Trace records one telemetry record per round (moves = vertices whose
+	// distribution was updated).
+	Trace []telemetry.IterRecord
 }
 
 // LabelRank runs deterministic label propagation: every vertex holds a
@@ -73,9 +81,13 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) *LabelRankResult {
 		dominant[v] = dominantLabel(cur[v], uint32(v))
 	}
 	res := &LabelRankResult{}
-	start := time.Now()
-	for it := 0; it < opt.MaxIterations; it++ {
-		updated := 0
+	// Threshold 1: LabelRank stops when a round updates no distribution.
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.MaxIterations,
+		Threshold:     1,
+		Profiler:      opt.Profiler,
+	}, func(it int) engine.IterOutcome {
+		var updated int64
 		for v := 0; v < n; v++ {
 			ts, _ := g.Neighbors(graph.Vertex(v))
 			if len(ts) == 0 {
@@ -109,7 +121,6 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) *LabelRankResult {
 			// Inflation + cutoff + renormalize.
 			for l, p := range out {
 				out[l] = math.Pow(p, opt.Inflation)
-				_ = p
 			}
 			norm(out)
 			for l, p := range out {
@@ -126,21 +137,29 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) *LabelRankResult {
 		for v := 0; v < n; v++ {
 			dominant[v] = dominantLabel(cur[v], uint32(v))
 		}
-		res.Iterations = it + 1
-		if updated == 0 {
-			res.Converged = true
-			break
-		}
-	}
+		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: updated, DeltaN: updated}}
+	})
+	res.Iterations = lr.Iterations
+	res.Converged = lr.Converged
+	res.Trace = lr.Trace
 	res.Labels = dominant
-	res.Duration = time.Since(start)
+	res.Duration = lr.Duration
 	return res
 }
 
+// norm renormalizes a distribution in place. The sum runs in sorted key
+// order: map iteration order would vary the floating-point rounding between
+// runs, and those ulp differences flip cutoff comparisons downstream —
+// LabelRank's determinism depends on an order-independent sum.
 func norm(dist map[uint32]float64) {
+	keys := make([]uint32, 0, len(dist))
+	for l := range dist {
+		keys = append(keys, l)
+	}
+	slices.Sort(keys)
 	var sum float64
-	for _, p := range dist {
-		sum += p
+	for _, l := range keys {
+		sum += dist[l]
 	}
 	if sum == 0 {
 		return

@@ -14,7 +14,9 @@ import (
 	"slices"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
 )
 
 // SLPAOptions configure Speaker-Listener Label Propagation (Xie et al.).
@@ -23,6 +25,8 @@ type SLPAOptions struct {
 	Iterations int
 	// Seed drives speaker label choices.
 	Seed int64
+	// Profiler, when non-nil, receives each round's record as it completes.
+	Profiler *telemetry.Recorder
 }
 
 // DefaultSLPAOptions returns the reference configuration.
@@ -38,6 +42,9 @@ type SLPAResult struct {
 	// Iterations actually performed.
 	Iterations int
 	Duration   time.Duration
+	// Trace records one telemetry record per speaking round (moves = labels
+	// stored into listener memories).
+	Trace []telemetry.IterRecord
 }
 
 // SLPA runs Speaker-Listener Label Propagation: every vertex keeps a memory
@@ -61,7 +68,14 @@ func SLPA(g *graph.CSR, opt SLPAOptions) *SLPAResult {
 	heard := map[uint32]int{}
 	var scratch []uint32
 	res := &SLPAResult{}
-	for it := 0; it < opt.Iterations; it++ {
+	// Threshold 0: SLPA is a fixed-budget method with no convergence rule, so
+	// the loop always runs its full T rounds.
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.Iterations,
+		Threshold:     0,
+		Profiler:      opt.Profiler,
+	}, func(it int) engine.IterOutcome {
+		var stored int64
 		for v := 0; v < n; v++ {
 			ts, _ := g.Neighbors(graph.Vertex(v))
 			if len(ts) == 0 {
@@ -102,9 +116,12 @@ func SLPA(g *graph.CSR, opt SLPAOptions) *SLPAResult {
 			}
 			memory[v][best]++
 			memSize[v]++
+			stored++
 		}
-		res.Iterations = it + 1
-	}
+		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: stored, DeltaN: stored}}
+	})
+	res.Iterations = lr.Iterations
+	res.Trace = lr.Trace
 	labels := make([]uint32, n)
 	for v := 0; v < n; v++ {
 		scratch = scratch[:0]

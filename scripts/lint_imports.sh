@@ -1,0 +1,46 @@
+#!/bin/sh
+# lint_imports.sh — enforce the engine's import layering (DESIGN.md):
+#
+#   1. Algorithm packages (flpa, gunrock, gvelpa, louvain, nulpa, plp,
+#      variants) must not import each other. They meet only through the
+#      engine registry.
+#   2. Every other package may import at most nulpa/internal/nulpa among the
+#      algorithm packages (bench and cmd/nulpa need its Options type for the
+#      paper's parameter sweeps); the rest are reached via the registry.
+#   3. Exemptions, each for a reason the registry cannot express:
+#      nulpa/internal/engine/all exists to blank-import every algorithm so a
+#      registry consumer pulls them all in with one import, and
+#      nulpa/examples/overlap type-asserts Result.Extra to the native
+#      variants.SLPAResult for the overlapping-membership API.
+#
+# Only production imports are checked (test files may import anything — the
+# conformance suite deliberately pulls in engine/all).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go list -f '{{.ImportPath}}: {{join .Imports " "}}' ./... | awk '
+BEGIN {
+    n = split("nulpa/internal/flpa nulpa/internal/gunrock nulpa/internal/gvelpa nulpa/internal/louvain nulpa/internal/nulpa nulpa/internal/plp nulpa/internal/variants", a, " ")
+    for (i = 1; i <= n; i++) algo[a[i]] = 1
+}
+{
+    pkg = $1
+    sub(/:$/, "", pkg)
+    if (pkg == "nulpa/internal/engine/all") next
+    if (pkg == "nulpa/examples/overlap") next
+    for (i = 2; i <= NF; i++) {
+        imp = $i
+        if (!(imp in algo)) continue
+        if (pkg in algo) {
+            print pkg " imports sibling algorithm package " imp " (use the engine registry)"
+            bad = 1
+        } else if (imp != "nulpa/internal/nulpa") {
+            print pkg " imports algorithm package " imp " directly (use the engine registry; only nulpa/internal/nulpa is allowed, for its Options type)"
+            bad = 1
+        }
+    }
+}
+END { exit bad }
+'
+echo "lint_imports: import layering OK"
