@@ -15,8 +15,10 @@ vet:
 	$(GO) vet ./...
 
 # Import layering: algorithm packages meet only through the engine registry.
+# Tree hygiene: no non-Go artifacts under internal/.
 lint:
 	sh scripts/lint_imports.sh
+	sh scripts/lint_tree.sh
 
 test:
 	$(GO) test -race -short ./...

@@ -5,6 +5,13 @@
 //
 //	bench -experiment all -scale medium -reps 3 -o EXPERIMENTS.md
 //	bench -experiment fig-compare -scale small -graphs asia_osm,com-Orkut -v
+//
+// The regression gate compares the current run's perf medians against a
+// previously saved JSON report:
+//
+//	bench -experiment perf -reps 5 -json BENCH_BASE.json     # capture baseline
+//	bench -experiment perf -reps 5 -baseline BENCH_BASE.json # report ratios
+//	bench -experiment perf -reps 5 -baseline BENCH_BASE.json -check  # fail > threshold
 package main
 
 import (
@@ -28,6 +35,9 @@ func main() {
 		out        = flag.String("o", "", "write markdown to this file instead of stdout")
 		jsonOut    = flag.String("json", "", "also write all tables (with per-iteration series) as JSON to this file")
 		verbose    = flag.Bool("v", false, "print per-cell progress to stderr")
+		baseline   = flag.String("baseline", "", "compare this run's perf medians against a saved JSON report")
+		check      = flag.Bool("check", false, "exit 1 when any baseline comparison exceeds -threshold")
+		threshold  = flag.Float64("threshold", 1.5, "regression ratio above which -check fails (current/baseline)")
 	)
 	flag.Parse()
 
@@ -89,6 +99,21 @@ func main() {
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *baseline != "" {
+		base, err := bench.ReadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		current := bench.Report{Scale: scale.String(), Reps: *reps, Tables: all}
+		cs := bench.CompareReports(base, current)
+		regressed := bench.WriteComparison(w, cs, *threshold)
+		if *check && regressed > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d cell(s) regressed beyond %.2f× of baseline\n", regressed, *threshold)
 			os.Exit(1)
 		}
 	}

@@ -6,24 +6,32 @@
 // .mtx Matrix Market, .bin binary, otherwise edge list) or from a generator
 // (-gen web|social|road|kmer|er|planted with -n/-deg/-seed).
 //
+// With -serve the command instead starts the monitoring server
+// (internal/httpapi): detections run as jobs submitted over HTTP, and
+// /metrics exposes the live metrics registry while they run. When -gen or
+// -graph is also given, an initial job is submitted at startup.
+//
 // Examples:
 //
 //	nulpa -gen web -n 100000 -deg 8
 //	nulpa -graph mygraph.mtx -algo louvain
 //	nulpa -gen social -n 65536 -algo nulpa -backend direct -pickless 4
+//	nulpa -serve :8080
+//	nulpa -serve :8080 -gen web -n 1000000 -algo nulpa
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"nulpa/internal/engine"
 	_ "nulpa/internal/engine/all"
-	"nulpa/internal/gen"
 	"nulpa/internal/graph"
 	"nulpa/internal/hashtable"
+	"nulpa/internal/httpapi"
 	"nulpa/internal/nulpa"
 	"nulpa/internal/quality"
 	"nulpa/internal/simt"
@@ -49,8 +57,14 @@ func main() {
 		writeTo   = flag.String("write-labels", "", "write 'vertex label' lines to this file")
 		trace     = flag.Bool("trace", false, "print per-iteration telemetry as a table")
 		profileTo = flag.String("profile", "", "write a Chrome trace-event JSON (load in chrome://tracing) to this file")
+		serveAddr = flag.String("serve", "", "run the monitoring HTTP server on this address (e.g. :8080) instead of a one-shot detection")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		serve(*serveAddr, *algo, *backend, *graphPath, *genName, *n, *deg, *seed)
+		return
+	}
 
 	if *algo == "list" {
 		for _, name := range engine.List() {
@@ -170,31 +184,39 @@ func main() {
 	}
 }
 
+// loadGraph delegates to the shared GraphSpec so the CLI and the HTTP job
+// plane accept exactly the same inputs.
 func loadGraph(path, genName string, n, deg int, seed int64) (*graph.CSR, error) {
-	if path != "" {
-		return graph.ReadFile(path)
-	}
-	switch genName {
-	case "web":
-		return gen.Web(gen.DefaultWeb(n, deg, seed)), nil
-	case "social":
-		scale := 0
-		for 1<<scale < n {
-			scale++
-		}
-		return gen.RMAT(gen.DefaultRMAT(scale, deg, seed)), nil
-	case "road":
-		return gen.Road(gen.DefaultRoad(n, seed)), nil
-	case "kmer":
-		return gen.KMer(gen.DefaultKMer(n, seed)), nil
-	case "er":
-		return gen.ErdosRenyi(n, n*deg/2, seed), nil
-	case "planted":
-		g, _ := gen.Planted(gen.PlantedConfig{N: n, Communities: 16, DegIn: float64(deg), DegOut: 1, Seed: seed})
-		return g, nil
-	case "":
+	spec := httpapi.GraphSpec{Path: path, Gen: genName, N: n, Deg: deg, Seed: seed}
+	if path == "" && genName == "" {
 		return nil, fmt.Errorf("need -graph or -gen (web, social, road, kmer, er, planted)")
-	default:
-		return nil, fmt.Errorf("unknown generator %q", genName)
+	}
+	return spec.Build()
+}
+
+// serve runs the monitoring server, optionally submitting an initial job
+// built from the one-shot flags.
+func serve(addr, algo, backend, graphPath, genName string, n, deg int, seed int64) {
+	srv := httpapi.NewServer()
+	if graphPath != "" || genName != "" {
+		name := algo
+		if name == "nulpa" && backend == "direct" {
+			name = "nulpa-direct"
+		}
+		st, err := srv.Submit(httpapi.JobSpec{
+			Algo:  name,
+			Graph: httpapi.GraphSpec{Path: graphPath, Gen: genName, N: n, Deg: deg, Seed: seed},
+			Seed:  seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nulpa: initial job: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("job %d: %s on %s\n", st.ID, st.Algo, st.Graph)
+	}
+	fmt.Printf("serving on %s (GET /metrics, /healthz, /jobs, /debug/vars, /debug/pprof)\n", addr)
+	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+		os.Exit(1)
 	}
 }

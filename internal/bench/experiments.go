@@ -69,6 +69,7 @@ var experiments = []Experiment{
 	{"abl-reorder", AblReorder},
 	{"fig-variants", FigVariants},
 	{"tab-partition", TabPartition},
+	{"perf", Perf},
 }
 
 // ExperimentIDs lists the experiment identifiers in catalogue order.

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"nulpa/internal/engine"
+)
+
+// The perf experiment and the regression gate. `bench -experiment perf -json
+// BENCH.json` captures per-method median runtimes as machine-readable series;
+// a later `bench -experiment perf -baseline BENCH.json -check` re-measures
+// and fails when any median grew beyond the threshold. CI runs the gate in
+// report-only mode (no -check) so noise on shared runners annotates the build
+// without failing it.
+
+// perfMethods are the detectors the gate tracks: ν-LPA on both backends plus
+// the fastest CPU baseline, enough to catch regressions in the SIMT engine,
+// the direct path, and the shared engine scaffolding.
+var perfMethods = []string{"nulpa", "nulpa-direct", "flpa"}
+
+// Perf measures the median wall time of each tracked detector on each graph
+// and attaches one "median-ms" series per cell — the shape CompareReports
+// consumes.
+func Perf(cfg Config) []Table {
+	cfg.defaults()
+	tbl := Table{
+		ID:     "perf",
+		Title:  "Median detection runtime (regression-gate input)",
+		Header: append([]string{"graph"}, perfMethods...),
+		Notes: []string{
+			"Medians over -reps runs; compare snapshots with `bench -experiment perf -baseline OLD.json [-check]`.",
+		},
+	}
+	for _, name := range cfg.Graphs {
+		g := Graph(name, cfg.Scale)
+		row := []string{name}
+		for _, m := range perfMethods {
+			det, err := engine.MustGet(m)
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			opt := engine.DefaultOptions()
+			opt.Workers = cfg.SMs
+			durs := make([]time.Duration, 0, cfg.Reps)
+			for r := 0; r < cfg.Reps; r++ {
+				res, err := det.Detect(g, opt)
+				if err != nil {
+					panic("bench: " + err.Error())
+				}
+				durs = append(durs, res.Duration)
+			}
+			med := median(durs)
+			ms := float64(med) / float64(time.Millisecond)
+			row = append(row, f3(ms))
+			tbl.Series = append(tbl.Series, Series{
+				Name:   "median-ms",
+				Label:  name + "/" + m,
+				Values: []float64{ms},
+			})
+			cfg.progressf("perf %s %s: median %v over %d reps\n", name, m, med, cfg.Reps)
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return []Table{tbl}
+}
+
+// median returns the middle duration (lower middle for even counts).
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[(len(s)-1)/2]
+}
+
+// Comparison is the verdict on one tracked cell: its baseline and current
+// medians and their ratio.
+type Comparison struct {
+	// Label is "graph/method", the series label.
+	Label string
+	// BaselineMS and CurrentMS are the two medians in milliseconds.
+	BaselineMS, CurrentMS float64
+	// Ratio is CurrentMS / BaselineMS; > 1 means slower than baseline.
+	Ratio float64
+}
+
+// Regressed reports whether the cell exceeds the threshold.
+func (c Comparison) Regressed(threshold float64) bool { return c.Ratio > threshold }
+
+// CompareReports matches every "median-ms" series between two reports by
+// (table id, label) and returns one Comparison per matched cell, sorted by
+// descending ratio — the worst offender first. Cells present in only one
+// report are skipped: the gate judges shared coverage, not catalogue drift.
+func CompareReports(baseline, current Report) []Comparison {
+	base := medianSeries(baseline)
+	var out []Comparison
+	for _, t := range current.Tables {
+		for _, s := range t.Series {
+			if s.Name != "median-ms" || len(s.Values) == 0 {
+				continue
+			}
+			b, ok := base[t.ID+"\x00"+s.Label]
+			if !ok || b <= 0 {
+				continue
+			}
+			cur := s.Values[0]
+			out = append(out, Comparison{
+				Label:      s.Label,
+				BaselineMS: b,
+				CurrentMS:  cur,
+				Ratio:      cur / b,
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Ratio > out[b].Ratio })
+	return out
+}
+
+func medianSeries(r Report) map[string]float64 {
+	m := map[string]float64{}
+	for _, t := range r.Tables {
+		for _, s := range t.Series {
+			if s.Name == "median-ms" && len(s.Values) > 0 {
+				m[t.ID+"\x00"+s.Label] = s.Values[0]
+			}
+		}
+	}
+	return m
+}
+
+// ReadReport loads a JSON report previously written by WriteJSON.
+func ReadReport(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	var r Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteComparison renders the comparisons as a markdown table, flagging cells
+// above the threshold, and returns how many regressed.
+func WriteComparison(w io.Writer, cs []Comparison, threshold float64) int {
+	fmt.Fprintf(w, "### perf vs baseline (threshold %.2f×)\n\n", threshold)
+	if len(cs) == 0 {
+		fmt.Fprintln(w, "no comparable cells — baseline and current share no median-ms series")
+		return 0
+	}
+	fmt.Fprintln(w, "| cell | baseline ms | current ms | ratio | |")
+	fmt.Fprintln(w, "| --- | --- | --- | --- | --- |")
+	regressed := 0
+	for _, c := range cs {
+		flag := ""
+		if c.Regressed(threshold) {
+			flag = "**REGRESSED**"
+			regressed++
+		}
+		fmt.Fprintf(w, "| %s | %.3f | %.3f | %.2f× | %s |\n",
+			c.Label, c.BaselineMS, c.CurrentMS, c.Ratio, flag)
+	}
+	return regressed
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func report(cells map[string]float64) Report {
+	t := Table{ID: "perf"}
+	for label, ms := range cells {
+		t.Series = append(t.Series, Series{Name: "median-ms", Label: label, Values: []float64{ms}})
+	}
+	return Report{Tables: []Table{t}}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := report(map[string]float64{
+		"web/nulpa":  10,
+		"web/flpa":   4,
+		"road/nulpa": 20,
+	})
+	cur := report(map[string]float64{
+		"web/nulpa":  25, // 2.5× — regressed
+		"web/flpa":   4.2,
+		"only/here":  1, // unmatched: skipped
+	})
+	cs := CompareReports(base, cur)
+	if len(cs) != 2 {
+		t.Fatalf("got %d comparisons, want 2: %+v", len(cs), cs)
+	}
+	// Sorted worst-first.
+	if cs[0].Label != "web/nulpa" || cs[0].Ratio != 2.5 {
+		t.Fatalf("worst cell = %+v", cs[0])
+	}
+	if !cs[0].Regressed(1.5) || cs[1].Regressed(1.5) {
+		t.Fatalf("threshold verdicts wrong: %+v", cs)
+	}
+
+	var b strings.Builder
+	if n := WriteComparison(&b, cs, 1.5); n != 1 {
+		t.Fatalf("WriteComparison counted %d regressions, want 1", n)
+	}
+	if !strings.Contains(b.String(), "**REGRESSED**") {
+		t.Errorf("comparison table does not flag the regression:\n%s", b.String())
+	}
+
+	// Same report against itself: all ratios 1, nothing regresses.
+	if n := WriteComparison(&b, CompareReports(base, base), 1.5); n != 0 {
+		t.Fatalf("self-comparison found %d regressions", n)
+	}
+}
+
+func TestCompareReportsNoOverlap(t *testing.T) {
+	cs := CompareReports(report(map[string]float64{"a/x": 1}), report(map[string]float64{"b/y": 1}))
+	if len(cs) != 0 {
+		t.Fatalf("disjoint reports produced comparisons: %+v", cs)
+	}
+	var b strings.Builder
+	if n := WriteComparison(&b, cs, 1.5); n != 0 {
+		t.Fatal("empty comparison regressed")
+	}
+	if !strings.Contains(b.String(), "no comparable cells") {
+		t.Errorf("missing empty-case note:\n%s", b.String())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	ms := func(x int) time.Duration { return time.Duration(x) * time.Millisecond }
+	if median(nil) != 0 {
+		t.Error("median(nil) != 0")
+	}
+	if got := median([]time.Duration{ms(5), ms(1), ms(3)}); got != ms(3) {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := median([]time.Duration{ms(4), ms(1), ms(3), ms(2)}); got != ms(2) {
+		t.Errorf("even (lower-middle) median = %v", got)
+	}
+}
+
+func TestPerfExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs detectors")
+	}
+	tables := Perf(Config{Scale: Small, Reps: 1, Graphs: []string{DatasetNames()[0]}})
+	if len(tables) != 1 || tables[0].ID != "perf" {
+		t.Fatalf("Perf returned %+v", tables)
+	}
+	if want := len(perfMethods); len(tables[0].Series) != want {
+		t.Fatalf("got %d series, want %d", len(tables[0].Series), want)
+	}
+	for _, s := range tables[0].Series {
+		if s.Name != "median-ms" || len(s.Values) != 1 || s.Values[0] <= 0 {
+			t.Errorf("bad series %+v", s)
+		}
+	}
+}

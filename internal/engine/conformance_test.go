@@ -46,6 +46,24 @@ func detectors(t *testing.T) []string {
 	return names
 }
 
+// TestListIsSortedAndComplete pins the registry's public surface: List must
+// return every repository detector, sorted, with no strays. A new algorithm
+// updates this list deliberately; an accidental registration (or a lost one)
+// fails here by name.
+func TestListIsSortedAndComplete(t *testing.T) {
+	got := detectors(t)
+	if !slices.IsSorted(got) {
+		t.Errorf("engine.List() is not sorted: %v", got)
+	}
+	want := []string{
+		"copra", "flpa", "gunrock", "gvelpa", "labelrank",
+		"louvain", "nulpa", "nulpa-direct", "plp", "slpa",
+	}
+	if !slices.Equal(got, want) {
+		t.Errorf("engine.List() = %v, want %v", got, want)
+	}
+}
+
 // singletonModularity is the quality floor: every vertex in its own
 // community. It is negative on any graph with edges, so any detector doing
 // real work must beat it.

@@ -60,6 +60,9 @@ func Loop(cfg LoopConfig, body func(iter int) IterOutcome) LoopResult {
 		if cfg.Profiler != nil {
 			cfg.Profiler.RecordIteration(rec)
 		}
+		mIterations.Inc()
+		mMoves.Add(rec.DeltaN)
+		mIterSeconds.Observe(rec.Duration.Seconds())
 		lr.Trace = append(lr.Trace, rec)
 		lr.Iterations = iter + 1
 		if out.Stop {

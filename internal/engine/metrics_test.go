@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
+)
+
+func TestLoopFeedsMetrics(t *testing.T) {
+	itersBefore := mIterations.Value()
+	movesBefore := mMoves.Value()
+	secondsBefore := mIterSeconds.Count()
+
+	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 3}, func(iter int) IterOutcome {
+		return IterOutcome{Record: telemetry.IterRecord{
+			DeltaN:   int64(5 - iter), // 5,4,3, then 2 < 3 stops the loop
+			Duration: time.Microsecond,
+		}}
+	})
+	if lr.Iterations != 4 || !lr.Converged {
+		t.Fatalf("loop ran %d iterations (converged=%v), want 4/true", lr.Iterations, lr.Converged)
+	}
+	if got := mIterations.Value() - itersBefore; got != 4 {
+		t.Errorf("engine_iterations_total advanced by %d, want 4", got)
+	}
+	if got := mMoves.Value() - movesBefore; got != 5+4+3+2 {
+		t.Errorf("engine_moves_total advanced by %d, want 14", got)
+	}
+	if got := mIterSeconds.Count() - secondsBefore; got != 4 {
+		t.Errorf("engine_iteration_seconds count advanced by %d, want 4", got)
+	}
+}
+
+func TestRegisterInstrumentsDetector(t *testing.T) {
+	Register(fakeDetector{"test-metrics"})
+	d, ok := Get("test-metrics")
+	if !ok {
+		t.Fatal("detector not registered")
+	}
+	if _, ok := d.(instrumented); !ok {
+		t.Fatalf("Get returned %T, want the instrumented wrapper", d)
+	}
+	if _, ok := Unwrap(d).(fakeDetector); !ok {
+		t.Fatalf("Unwrap returned %T, want fakeDetector", Unwrap(d))
+	}
+
+	runsBefore := mRuns.With("test-metrics").Value()
+	activeBefore := mActiveRuns.Value()
+	b := graph.NewBuilder(2)
+	b.AddUnitEdge(0, 1)
+	g, err := b.Build(2, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mRuns.With("test-metrics").Value(); got != runsBefore+1 {
+		t.Errorf("engine_runs_total = %d, want %d", got, runsBefore+1)
+	}
+	if got := mRunSeconds.With("test-metrics").Count(); got < 1 {
+		t.Errorf("engine_run_seconds has no observations")
+	}
+	if got := mActiveRuns.Value(); got != activeBefore {
+		t.Errorf("engine_active_runs = %g after run, want %g", got, activeBefore)
+	}
+}

@@ -25,7 +25,9 @@ func Register(d Detector) {
 	if _, dup := registry[name]; dup {
 		panic("engine: duplicate detector " + name)
 	}
-	registry[name] = d
+	// Every detector reached through the registry carries the engine's
+	// run-grained metrics (engine_runs_total etc.); see metrics.go.
+	registry[name] = instrumented{d: d}
 }
 
 // Get returns the detector registered under name.

@@ -286,10 +286,12 @@ func (t Table) Accumulate(k uint32, v float64, shared bool) bool {
 	if t.p1 == 0 {
 		if t.a.Stats != nil {
 			t.a.Stats.Failures.Add(1)
+			mFailures.Inc()
 		}
 		return false
 	}
 	st := t.a.Stats
+	var probes int64 // per-call probe length, fed to the metrics histogram
 	if st != nil {
 		st.Accumulates.Add(1)
 	}
@@ -303,11 +305,15 @@ func (t Table) Accumulate(k uint32, v float64, shared bool) bool {
 		s := int64(i % uint64(t.p1))
 		if st != nil {
 			st.Probes.Add(1)
+			probes++
 			if try > 0 {
 				st.Collisions.Add(1)
 			}
 		}
 		if t.tryslot(s, k, v, shared) {
+			if st != nil {
+				mProbeLen.Observe(float64(probes))
+			}
 			return true
 		}
 		i += di
@@ -316,11 +322,13 @@ func (t Table) Accumulate(k uint32, v float64, shared bool) bool {
 	if !t.a.LinearFallback {
 		if st != nil {
 			st.Failures.Add(1)
+			mFailures.Inc()
 		}
 		return false
 	}
 	if st != nil {
 		st.Fallbacks.Add(1)
+		mFallbacks.Inc()
 	}
 	// Full-circle linear probe: guaranteed to find k's slot or an empty one
 	// because capacity ≥ degree ≥ distinct keys.
@@ -332,13 +340,18 @@ func (t Table) Accumulate(k uint32, v float64, shared bool) bool {
 		}
 		if st != nil {
 			st.Probes.Add(1)
+			probes++
 		}
 		if t.tryslot(s, k, v, shared) {
+			if st != nil {
+				mProbeLen.Observe(float64(probes))
+			}
 			return true
 		}
 	}
 	if st != nil {
 		st.Failures.Add(1)
+		mFailures.Inc()
 	}
 	return false
 }

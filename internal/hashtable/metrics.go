@@ -1,0 +1,18 @@
+package hashtable
+
+import "nulpa/internal/metrics"
+
+// Live-metrics bridge. The histogram answers the question the Stats totals
+// cannot: how probe work is distributed per accumulate (p50/p95/p99 probe
+// length), which is what distinguishes a healthy table from one drowning in
+// clustering. Updates ride the existing Stats gate — a nil Arena.Stats keeps
+// the hot path untouched, preserving the zero-overhead-when-disabled rule.
+var (
+	mProbeLen = metrics.NewHistogram("hashtable_probe_length",
+		"Slots inspected per successful accumulate (open addressing).",
+		metrics.ExpBuckets(1, 2, 10))
+	mFallbacks = metrics.NewCounter("hashtable_fallbacks_total",
+		"Accumulates that exhausted the probe budget and fell back to a linear scan.")
+	mFailures = metrics.NewCounter("hashtable_failures_total",
+		"Accumulates that found no slot at all.")
+)

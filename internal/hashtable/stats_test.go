@@ -92,3 +92,32 @@ func TestSnapshotDeltas(t *testing.T) {
 		t.Errorf("delta = %+v, want %+v", d, want)
 	}
 }
+
+// TestMetricsRideStatsGate pins the metrics bridge to the Stats gate: probe
+// histogram and counters advance only when an Arena carries Stats, so the
+// stats-disabled hot path stays metric-free too.
+func TestMetricsRideStatsGate(t *testing.T) {
+	countBefore := func() int64 { return mProbeLen.Count() }
+
+	off := NewArena(Float32, 64)
+	tb := off.TableFor(0, 8, QuadraticDouble)
+	tb.Accumulate(1, 1, false)
+	c0 := countBefore()
+
+	on := NewArena(Float32, 64)
+	on.Stats = &Stats{}
+	tb = on.TableFor(0, 8, QuadraticDouble)
+	if !tb.Accumulate(1, 1, false) {
+		t.Fatal("accumulate failed")
+	}
+	if got := countBefore(); got != c0+1 {
+		t.Fatalf("probe histogram advanced by %d with Stats attached, want 1", got-c0)
+	}
+
+	off2 := NewArena(Float32, 64)
+	tb = off2.TableFor(0, 8, QuadraticDouble)
+	tb.Accumulate(2, 1, false)
+	if got := countBefore(); got != c0+1 {
+		t.Fatalf("probe histogram advanced without Stats (count %d, want %d)", got, c0+1)
+	}
+}

@@ -1,0 +1,95 @@
+// Package httpapi is the monitoring and job plane of the repository: an HTTP
+// server that runs community detections as background jobs through the engine
+// registry and exposes the live metrics registry while they run.
+//
+// Routes:
+//
+//	GET  /healthz      liveness probe ("ok")
+//	GET  /metrics      Prometheus text format (internal/metrics)
+//	GET  /debug/vars   expvar-style JSON dump of the same registry
+//	GET  /algos        registered detector names (JSON)
+//	POST /jobs         submit a JobSpec; returns the job id immediately
+//	GET  /jobs         all job statuses
+//	GET  /jobs/{id}    one job, with live iteration progress while running
+//	GET  /debug/pprof  the standard runtime profiles
+//
+// Jobs attach a telemetry.Recorder as the engine profiler, so /jobs/{id}
+// reports iteration-grained progress from the same records the -trace and
+// -profile flags render; ν-LPA jobs additionally route device kernel events
+// into the metrics plane via simt.MultiProfiler, which is what makes a
+// mid-run scrape of /metrics show kernel, occupancy, and hashtable activity.
+package httpapi
+
+import (
+	"fmt"
+	"strings"
+
+	"nulpa/internal/gen"
+	"nulpa/internal/graph"
+)
+
+// GraphSpec names an input graph: a file path, or a generator with its
+// parameters — the same surface as cmd/nulpa's -graph/-gen flags, which
+// delegate here.
+type GraphSpec struct {
+	// Path loads a graph file (.mtx, .bin, or edge list). When set, the
+	// generator fields are ignored.
+	Path string `json:"path,omitempty"`
+	// Gen selects a generator: web, social, road, kmer, er, planted.
+	Gen string `json:"gen,omitempty"`
+	// N is the generator vertex count (social: rounded up to a power of two).
+	N int `json:"n,omitempty"`
+	// Deg is the generator average-degree parameter.
+	Deg int `json:"deg,omitempty"`
+	// Seed drives the generator.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Build loads or generates the graph the spec names.
+func (s GraphSpec) Build() (*graph.CSR, error) {
+	if s.Path != "" {
+		return graph.ReadFile(s.Path)
+	}
+	n, deg := s.N, s.Deg
+	if n <= 0 {
+		n = 100000
+	}
+	if deg <= 0 {
+		deg = 8
+	}
+	switch s.Gen {
+	case "web":
+		return gen.Web(gen.DefaultWeb(n, deg, s.Seed)), nil
+	case "social":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		return gen.RMAT(gen.DefaultRMAT(scale, deg, s.Seed)), nil
+	case "road":
+		return gen.Road(gen.DefaultRoad(n, s.Seed)), nil
+	case "kmer":
+		return gen.KMer(gen.DefaultKMer(n, s.Seed)), nil
+	case "er":
+		return gen.ErdosRenyi(n, n*deg/2, s.Seed), nil
+	case "planted":
+		g, _ := gen.Planted(gen.PlantedConfig{
+			N: n, Communities: 16, DegIn: float64(deg), DegOut: 1, Seed: s.Seed,
+		})
+		return g, nil
+	case "":
+		return nil, fmt.Errorf("graph spec needs path or gen (web, social, road, kmer, er, planted)")
+	default:
+		return nil, fmt.Errorf("unknown generator %q", s.Gen)
+	}
+}
+
+// String renders the spec for job listings: the path, or "gen(n=...,deg=...)".
+func (s GraphSpec) String() string {
+	if s.Path != "" {
+		return s.Path
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(n=%d,deg=%d,seed=%d)", s.Gen, s.N, s.Deg, s.Seed)
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	_ "nulpa/internal/engine/all"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, readAll(t, resp)
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+func TestHealthzAndAlgos(t *testing.T) {
+	ts := newTestServer(t)
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	code, body := get(t, ts.URL+"/algos")
+	if code != 200 || !strings.Contains(body, `"nulpa"`) || !strings.Contains(body, `"louvain"`) {
+		t.Fatalf("algos = %d %q", code, body)
+	}
+}
+
+func TestJobLifecycleAndMetrics(t *testing.T) {
+	ts := newTestServer(t)
+
+	spec := `{"algo":"nulpa","graph":{"gen":"planted","n":400,"deg":8,"seed":3},"workers":2}`
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("submit response not JSON: %v\n%s", err, body)
+	}
+	if st.ID == 0 {
+		t.Fatalf("submit returned no job id: %s", body)
+	}
+
+	// Poll until terminal.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := get(t, fmt.Sprintf("%s/jobs/%d", ts.URL, st.ID))
+		if code != 200 {
+			t.Fatalf("get job = %d %s", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobDone || st.State == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != JobDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.Iterations == 0 || st.Communities == 0 {
+		t.Fatalf("done job carries no results: %+v", st)
+	}
+	if st.Modularity <= 0 {
+		t.Errorf("modularity = %g on a planted graph, want > 0", st.Modularity)
+	}
+
+	// The acceptance check: a scrape after (or during) a ν-LPA job exposes
+	// the engine, device, and hashtable series in Prometheus text format.
+	code, metricsText := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE engine_iterations_total counter",
+		`engine_runs_total{detector="nulpa"}`,
+		"# TYPE simt_sm_occupancy gauge",
+		"simt_kernel_launches_total{",
+		"simt_cas_retries_total",
+		"# TYPE hashtable_probe_length histogram",
+		`hashtable_probe_length_bucket{le="1"}`,
+		`httpapi_jobs_finished_total{state="done"}`,
+		"httpapi_uptime_seconds",
+		"go_goroutines",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /debug/vars must be one valid JSON object over the same registry.
+	_, varsText := get(t, ts.URL+"/debug/vars")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(varsText), &doc); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := doc["engine_iterations_total"]; !ok {
+		t.Error("/debug/vars missing engine_iterations_total")
+	}
+
+	// /jobs lists the job.
+	_, listText := get(t, ts.URL+"/jobs")
+	if !strings.Contains(listText, `"planted(n=400,deg=8,seed=3)"`) {
+		t.Errorf("/jobs does not list the job: %s", listText)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	ts := newTestServer(t)
+	for _, body := range []string{
+		`{"algo":"no-such-algo","graph":{"gen":"er","n":100}}`,
+		`{"algo":"flpa","graph":{}}`,
+		`{"algo":"flpa","graph":{"gen":"er"},"bogus":1}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	ts := newTestServer(t)
+	if code, _ := get(t, ts.URL+"/jobs/999"); code != http.StatusNotFound {
+		t.Errorf("missing job = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/jobs/abc"); code != http.StatusBadRequest {
+		t.Errorf("bad id = %d, want 400", code)
+	}
+}
+
+func TestGraphSpecBuild(t *testing.T) {
+	for _, gen := range []string{"web", "social", "road", "kmer", "er", "planted"} {
+		g, err := GraphSpec{Gen: gen, N: 256, Deg: 4, Seed: 1}.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Errorf("%s: empty graph", gen)
+		}
+	}
+	if _, err := (GraphSpec{}).Build(); err == nil {
+		t.Error("empty spec did not error")
+	}
+	if _, err := (GraphSpec{Gen: "bogus"}).Build(); err == nil {
+		t.Error("unknown generator did not error")
+	}
+}

@@ -1,0 +1,226 @@
+package httpapi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/metrics"
+	"nulpa/internal/nulpa"
+	"nulpa/internal/quality"
+	"nulpa/internal/simt"
+	"nulpa/internal/telemetry"
+)
+
+// JobSpec is the body of POST /jobs: which detector to run on which graph.
+type JobSpec struct {
+	// Algo is the engine registry name ("nulpa", "flpa", ...).
+	Algo string `json:"algo"`
+	// Graph names the input.
+	Graph GraphSpec `json:"graph"`
+	// MaxIterations, Tolerance, Seed, Workers, and BlockDim map onto
+	// engine.Options; zero keeps each detector's default.
+	MaxIterations int     `json:"maxIterations,omitempty"`
+	Tolerance     float64 `json:"tolerance,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+	BlockDim      int     `json:"blockDim,omitempty"`
+}
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+const (
+	JobPending JobState = "pending"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobStatus is the JSON view of one job returned by /jobs and /jobs/{id}.
+type JobStatus struct {
+	ID        int      `json:"id"`
+	Algo      string   `json:"algo"`
+	Graph     string   `json:"graph"`
+	State     JobState `json:"state"`
+	Error     string   `json:"error,omitempty"`
+	Submitted string   `json:"submitted"`
+	// Iterations is live while the job runs (from the attached telemetry
+	// recorder) and final afterwards.
+	Iterations int `json:"iterations"`
+	// LastDeltaN is the net label-change count of the most recent iteration —
+	// the number a watcher polls to see convergence approach.
+	LastDeltaN  int64   `json:"lastDeltaN,omitempty"`
+	Converged   bool    `json:"converged,omitempty"`
+	Communities int     `json:"communities,omitempty"`
+	Modularity  float64 `json:"modularity,omitempty"`
+	DurationMS  float64 `json:"durationMs,omitempty"`
+}
+
+// job is the server-side record.
+type job struct {
+	mu        sync.Mutex
+	id        int
+	spec      JobSpec
+	state     JobState
+	err       error
+	submitted time.Time
+	rec       *telemetry.Recorder
+	res       *engine.Result
+	mod       float64
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Algo:      j.spec.Algo,
+		Graph:     j.spec.Graph.String(),
+		State:     j.state,
+		Submitted: j.submitted.UTC().Format(time.RFC3339),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if recs := j.rec.IterRecords(); len(recs) > 0 {
+		st.Iterations = len(recs)
+		st.LastDeltaN = recs[len(recs)-1].DeltaN
+	}
+	if j.res != nil {
+		st.Iterations = j.res.Iterations
+		st.Converged = j.res.Converged
+		st.Communities = j.res.Communities
+		st.Modularity = j.mod
+		st.DurationMS = float64(j.res.Duration) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// Job-plane metrics.
+var (
+	mJobsSubmitted = metrics.NewCounter("httpapi_jobs_submitted_total",
+		"Jobs accepted by POST /jobs.")
+	mJobsByState = metrics.NewCounterVec("httpapi_jobs_finished_total",
+		"Jobs that reached a terminal state.", "state")
+	mJobsActive = metrics.NewGauge("httpapi_jobs_active",
+		"Jobs currently running.")
+)
+
+// jobStore holds every job of a server's lifetime.
+type jobStore struct {
+	mu   sync.Mutex
+	next int
+	jobs map[int]*job
+}
+
+func newJobStore() *jobStore { return &jobStore{next: 1, jobs: map[int]*job{}} }
+
+// submit validates the spec, registers the job, and starts it on its own
+// goroutine. The graph is built inside the job so a slow generator or file
+// load never blocks the HTTP handler.
+func (s *jobStore) submit(spec JobSpec) (*job, error) {
+	if _, err := engine.MustGet(spec.Algo); err != nil {
+		return nil, err
+	}
+	if spec.Graph.Path == "" && spec.Graph.Gen == "" {
+		return nil, fmt.Errorf("job needs graph.path or graph.gen")
+	}
+	j := &job{
+		spec:      spec,
+		state:     JobPending,
+		submitted: time.Now(),
+		rec:       telemetry.NewRecorder(),
+	}
+	s.mu.Lock()
+	j.id = s.next
+	s.next++
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	mJobsSubmitted.Inc()
+	go j.run()
+	return j, nil
+}
+
+func (s *jobStore) get(id int) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns every job's status, newest first.
+func (s *jobStore) list() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id > jobs[b].id })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// run executes the job to completion. It is the only writer of state after
+// submission.
+func (j *job) run() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+	mJobsActive.Add(1)
+	defer mJobsActive.Add(-1)
+
+	fail := func(err error) {
+		j.mu.Lock()
+		j.state, j.err = JobFailed, err
+		j.mu.Unlock()
+		mJobsByState.With(string(JobFailed)).Inc()
+	}
+
+	g, err := j.spec.Graph.Build()
+	if err != nil {
+		fail(err)
+		return
+	}
+	det, err := engine.MustGet(j.spec.Algo)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	opt := engine.DefaultOptions()
+	opt.MaxIterations = j.spec.MaxIterations
+	opt.Tolerance = j.spec.Tolerance
+	if j.spec.Seed != 0 {
+		opt.Seed = j.spec.Seed
+	}
+	opt.Workers = j.spec.Workers
+	opt.BlockDim = j.spec.BlockDim
+	opt.Profiler = j.rec
+	if j.spec.Algo == "nulpa" {
+		// The SIMT backend's device events feed both the job's recorder and
+		// the live metrics plane through one profiler hook.
+		nopt := nulpa.DefaultOptions()
+		nopt.Device = simt.NewDevice(j.spec.Workers)
+		nopt.Device.Prof = simt.MultiProfiler(j.rec, simt.NewMetricsProfiler())
+		nopt.TrackStats = true
+		opt.Extra = nopt
+	}
+
+	res, err := det.Detect(g, opt)
+	if err != nil {
+		fail(err)
+		return
+	}
+	mod := quality.Modularity(g, res.Labels)
+	j.mu.Lock()
+	j.state, j.res, j.mod = JobDone, res, mod
+	j.mu.Unlock()
+	mJobsByState.With(string(JobDone)).Inc()
+}

@@ -1,0 +1,154 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/metrics"
+)
+
+// HTTP-plane metrics, plus the process gauges every scrape wants alongside
+// the application series.
+var (
+	mRequests = metrics.NewCounterVec("httpapi_requests_total",
+		"HTTP requests served, per route.", "route")
+	mRequestSeconds = metrics.NewHistogram("httpapi_request_seconds",
+		"Wall time of one HTTP request.", metrics.ExpBuckets(1e-5, 4, 12))
+)
+
+var processStart = time.Now()
+
+func init() {
+	metrics.NewGaugeFunc("httpapi_uptime_seconds",
+		"Seconds since the process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
+	metrics.NewGaugeFunc("go_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	metrics.NewGaugeFunc("go_heap_alloc_bytes",
+		"Heap bytes currently allocated.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}
+
+// Server runs detections as jobs and serves the metrics plane. Create one
+// with NewServer and mount Handler on an http.Server.
+type Server struct {
+	jobs  *jobStore
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// NewServer returns a Server with an empty job store.
+func NewServer() *Server {
+	s := &Server{jobs: newJobStore(), start: time.Now(), mux: http.NewServeMux()}
+	s.handle("GET /healthz", "healthz", s.healthz)
+	s.handle("GET /metrics", "metrics", s.metrics)
+	s.handle("GET /debug/vars", "vars", s.vars)
+	s.handle("GET /algos", "algos", s.algos)
+	s.handle("POST /jobs", "jobs-submit", s.submitJob)
+	s.handle("GET /jobs", "jobs-list", s.listJobs)
+	s.handle("GET /jobs/{id}", "jobs-get", s.getJob)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// handle mounts h with per-route request accounting.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		mRequests.With(route).Inc()
+		mRequestSeconds.Observe(time.Since(start).Seconds())
+	})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.Default().WritePrometheus(w)
+}
+
+func (s *Server) vars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	metrics.Default().WriteJSON(w)
+}
+
+func (s *Server) algos(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"algos": engine.List()})
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.jobs.submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, ok := s.jobs.get(id)
+	if !ok {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// Submit starts a job directly (the -serve CLI path submits its initial job
+// this way, before the listener is up).
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	j, err := s.jobs.submit(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.status(), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Exposition: the registry renders in two formats. WritePrometheus emits the
+// Prometheus text format (version 0.0.4) — HELP/TYPE headers, histogram
+// _bucket/_sum/_count series with cumulative le bounds — which is what a
+// scraper pulls from /metrics. WriteJSON emits an expvar-compatible dump (a
+// single JSON object mapping metric names to values) for /debug/vars;
+// histograms appear as objects carrying count, sum, and the p50/p95/p99
+// summaries.
+
+// WritePrometheus writes every registered metric in Prometheus text format,
+// in name order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.sorted() {
+		if e.help != "" {
+			bw.WriteString("# HELP " + e.name + " " + escapeHelp(e.help) + "\n")
+		}
+		bw.WriteString("# TYPE " + e.name + " " + e.kind.promType() + "\n")
+		switch e.kind {
+		case kindCounter:
+			writeSample(bw, e.name, "", "", formatInt(e.counter.Value()))
+		case kindGauge:
+			writeSample(bw, e.name, "", "", formatFloat(e.gauge.Value()))
+		case kindCounterFunc, kindGaugeFunc:
+			writeSample(bw, e.name, "", "", formatFloat(e.fn()))
+		case kindHistogram:
+			writeHistogram(bw, e.name, "", "", e.hist)
+		case kindCounterVec:
+			for _, k := range e.sortedVecKeys() {
+				writeSample(bw, e.name, e.label, k, formatInt(e.counterChild(k).Value()))
+			}
+		case kindGaugeVec:
+			for _, k := range e.sortedVecKeys() {
+				writeSample(bw, e.name, e.label, k, formatFloat(e.gaugeChild(k).Value()))
+			}
+		case kindHistogramVec:
+			for _, k := range e.sortedVecKeys() {
+				writeHistogram(bw, e.name, e.label, k, e.histChild(k))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample writes one `name{label="value"} v` line (labels omitted when
+// label is empty).
+func writeSample(bw *bufio.Writer, name, label, value, v string) {
+	bw.WriteString(name)
+	if label != "" {
+		bw.WriteString("{" + label + "=\"" + escapeLabel(value) + "\"}")
+	}
+	bw.WriteString(" " + v + "\n")
+}
+
+// writeHistogram writes the cumulative _bucket series plus _sum and _count.
+// An extra label (family child) is merged before the le label.
+func writeHistogram(bw *bufio.Writer, name, label, value string, h *Histogram) {
+	var cum int64
+	pre := ""
+	if label != "" {
+		pre = label + "=\"" + escapeLabel(value) + "\","
+	}
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		bw.WriteString(name + "_bucket{" + pre + "le=\"" + formatFloat(b) + "\"} " + formatInt(cum) + "\n")
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	bw.WriteString(name + "_bucket{" + pre + "le=\"+Inf\"} " + formatInt(cum) + "\n")
+	suffix := ""
+	if label != "" {
+		suffix = "{" + label + "=\"" + escapeLabel(value) + "\"}"
+	}
+	bw.WriteString(name + "_sum" + suffix + " " + formatFloat(h.Sum()) + "\n")
+	bw.WriteString(name + "_count" + suffix + " " + formatInt(h.Count()) + "\n")
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash, quote,
+// and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// histJSON is the JSON shape of one histogram: totals plus the quantile
+// summaries the text format cannot carry.
+type histJSON struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func histToJSON(h *Histogram) histJSON {
+	return histJSON{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// WriteJSON writes the registry as one expvar-style JSON object: metric name
+// to value, families as nested objects keyed by label value.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := map[string]any{}
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case kindCounter:
+			doc[e.name] = e.counter.Value()
+		case kindGauge:
+			doc[e.name] = e.gauge.Value()
+		case kindCounterFunc, kindGaugeFunc:
+			doc[e.name] = e.fn()
+		case kindHistogram:
+			doc[e.name] = histToJSON(e.hist)
+		case kindCounterVec:
+			m := map[string]any{}
+			for _, k := range e.sortedVecKeys() {
+				m[k] = e.counterChild(k).Value()
+			}
+			doc[e.name] = m
+		case kindGaugeVec:
+			m := map[string]any{}
+			for _, k := range e.sortedVecKeys() {
+				m[k] = e.gaugeChild(k).Value()
+			}
+			doc[e.name] = m
+		case kindHistogramVec:
+			m := map[string]any{}
+			for _, k := range e.sortedVecKeys() {
+				m[k] = histToJSON(e.histChild(k))
+			}
+			doc[e.name] = m
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,277 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "other help"); again != c {
+		t.Fatal("re-registering a counter did not return the existing one")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind clash")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestHistogramCountsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", ExpBuckets(1, 2, 8)) // bounds 1..128
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	// p50 of 1..100 is ~50; bucket (32,64] holds ranks 33..64, so the
+	// interpolated estimate must land inside that bucket.
+	if p := h.Quantile(0.5); p <= 32 || p > 64 {
+		t.Errorf("p50 = %g, want in (32,64]", p)
+	}
+	if p := h.Quantile(0.99); p <= 64 || p > 128 {
+		t.Errorf("p99 = %g, want in (64,128]", p)
+	}
+	if p := h.Quantile(0); p < 0 || p > 1 {
+		t.Errorf("p0 = %g, want in [0,1]", p)
+	}
+	// Overflow: observations beyond the last bound land in +Inf and the
+	// quantile clamps to the last finite bound.
+	h.Observe(1e9)
+	if p := h.Quantile(1); p != 128 {
+		t.Errorf("p100 with overflow = %g, want 128", p)
+	}
+
+	e := r.Histogram("h_empty", "", ExpBuckets(1, 2, 2))
+	if q := e.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestVecChildrenAreStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("runs_total", "", "detector")
+	a := v.With("nulpa")
+	a.Add(3)
+	if b := v.With("nulpa"); b != a {
+		t.Fatal("With returned a different child for the same label")
+	}
+	v.With("flpa").Inc()
+
+	hv := r.HistogramVec("hv", "", "k", ExpBuckets(0.001, 10, 3))
+	hv.With("x").Observe(0.5)
+	if hv.With("x").Count() != 1 {
+		t.Fatal("histogram child lost its observation")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Completed jobs.").Add(7)
+	r.Gauge("occupancy", "SM occupancy.").Set(0.75)
+	r.GaugeFunc("fn_gauge", "", func() float64 { return 42 })
+	h := r.Histogram("lat_seconds", "Latency.", ExpBuckets(0.001, 10, 3))
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(99)
+	v := r.CounterVec("runs_total", "Runs.", "detector")
+	v.With("nulpa").Add(2)
+	v.With(`we"ird\label`).Inc()
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP jobs_total Completed jobs.",
+		"# TYPE jobs_total counter",
+		"jobs_total 7",
+		"occupancy 0.75",
+		"fn_gauge 42",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.001"} 1`,
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+		`runs_total{detector="nulpa"} 2`,
+		`runs_total{detector="we\"ird\\label"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Each # TYPE line must precede its samples and appear exactly once.
+	if strings.Count(out, "# TYPE lat_seconds histogram") != 1 {
+		t.Error("duplicate TYPE line")
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(3)
+	h := r.Histogram("h_seconds", "", ExpBuckets(0.001, 10, 4))
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05)
+	}
+	r.CounterVec("v_total", "", "k").With("a").Inc()
+
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc["c_total"].(float64) != 3 {
+		t.Errorf("c_total = %v", doc["c_total"])
+	}
+	hj := doc["h_seconds"].(map[string]any)
+	if hj["count"].(float64) != 100 {
+		t.Errorf("histogram count = %v", hj["count"])
+	}
+	p50 := hj["p50"].(float64)
+	if p50 <= 0.01 || p50 > 0.1 {
+		t.Errorf("p50 = %v, want in (0.01,0.1]", p50)
+	}
+	if doc["v_total"].(map[string]any)["a"].(float64) != 1 {
+		t.Errorf("vec child = %v", doc["v_total"])
+	}
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExpBuckets(1, 2, 10))
+	v := r.CounterVec("v_total", "", "k")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 700))
+				v.With("abc").Inc()
+				if i%100 == 0 {
+					var b bytes.Buffer
+					r.WritePrometheus(&b)
+					r.WriteJSON(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %g, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if v.With("abc").Value() != 8000 {
+		t.Errorf("vec = %d, want 8000", v.With("abc").Value())
+	}
+}
+
+// TestHotPathZeroAlloc is the metrics-plane guardrail, matching PR 1's
+// zero-alloc-when-disabled rule: updating any metric — counter add, gauge
+// set, histogram observe, and a warm family lookup — must not allocate while
+// no scrape is running.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExpBuckets(1e-6, 4, 16))
+	v := r.CounterVec("v_total", "", "k")
+	v.With("warm").Inc() // create the child outside the measured region
+
+	if a := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(0.5)
+		h.Observe(0.123)
+		v.With("warm").Inc()
+	}); a != 0 {
+		t.Fatalf("metrics hot path allocates: %v allocs/op, want 0", a)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if formatFloat(math.Inf(1)) != "+Inf" || formatFloat(math.Inf(-1)) != "-Inf" {
+		t.Error("infinity formatting broken")
+	}
+	if formatFloat(0.001) != "0.001" {
+		t.Errorf("formatFloat(0.001) = %s", formatFloat(0.001))
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", "", ExpBuckets(1e-6, 4, 16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-5)
+	}
+}
+
+func BenchmarkVecWith(b *testing.B) {
+	v := NewRegistry().CounterVec("v_total", "", "k")
+	v.With("warm")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("warm").Inc()
+	}
+}
