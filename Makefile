@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-full bench
+.PHONY: check build vet lint test test-full bench chaos
 
-check: vet lint test
+check: vet lint test chaos
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ test:
 # Full suite without the race detector (what CI tier-1 runs).
 test-full:
 	$(GO) test ./...
+
+# Chaos conformance: fault injection, cancellation, and recovery under -race.
+# Every detector under a fault schedule must converge to a valid partition or
+# return a typed error — never hang, never panic.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Cancel|Deadline' \
+		./internal/engine/ ./internal/nulpa/ ./internal/simt/ ./internal/faults/ ./internal/httpapi/
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/bench/

@@ -21,14 +21,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"nulpa/internal/engine"
 	_ "nulpa/internal/engine/all"
+	"nulpa/internal/faults"
 	"nulpa/internal/graph"
 	"nulpa/internal/hashtable"
 	"nulpa/internal/httpapi"
@@ -58,6 +62,8 @@ func main() {
 		trace     = flag.Bool("trace", false, "print per-iteration telemetry as a table")
 		profileTo = flag.String("profile", "", "write a Chrome trace-event JSON (load in chrome://tracing) to this file")
 		serveAddr = flag.String("serve", "", "run the monitoring HTTP server on this address (e.g. :8080) instead of a one-shot detection")
+		faultSpec = flag.String("faults", "", "nulpa simt backend: inject faults, e.g. 'kernel=0.01,bitflip=0.01,seed=7' (chaos testing)")
+		deadline  = flag.Duration("deadline", 0, "abort the one-shot detection after this duration (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -94,6 +100,15 @@ func main() {
 	eopt := engine.DefaultOptions()
 	eopt.Seed = *seed
 	eopt.Profiler = rec
+	if *deadline > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+		defer cancel()
+		eopt.Context = ctx
+	}
+	if *faultSpec != "" && !(name == "nulpa" && *backend != "direct") {
+		fmt.Fprintf(os.Stderr, "nulpa: -faults applies only to the nulpa simt backend\n")
+		os.Exit(2)
+	}
 	if *algo == "nulpa" || *algo == "nulpa-direct" {
 		// The ν-LPA-specific flags travel through Extra; every other
 		// detector ignores them.
@@ -120,6 +135,15 @@ func main() {
 		if name == "nulpa" {
 			nopt.Device = simt.NewDevice(*sms)
 			nopt.Device.MemBudget = *membudget
+			if *faultSpec != "" {
+				spec, err := faults.ParseSpec(*faultSpec)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "nulpa: bad -faults: %v\n", err)
+					os.Exit(2)
+				}
+				nopt.Faults = faults.New(spec)
+				fmt.Printf("faults: %s\n", spec)
+			}
 		}
 		eopt.Extra = nopt
 	}
@@ -134,8 +158,20 @@ func main() {
 
 	res, err := det.Detect(g, eopt)
 	if err != nil {
+		if errors.Is(err, engine.ErrDeadline) {
+			fmt.Fprintf(os.Stderr, "nulpa: deadline of %v exceeded\n", *deadline)
+			os.Exit(3)
+		}
 		fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
 		os.Exit(1)
+	}
+	if nres, ok := res.Extra.(*nulpa.Result); ok {
+		if nres.Retries > 0 || nres.Rollbacks > 0 {
+			fmt.Printf("faults recovered: %d retries, %d rollbacks\n", nres.Retries, nres.Rollbacks)
+		}
+		if nres.Degraded {
+			fmt.Printf("degraded: simt backend faulted beyond recovery; result computed by the direct backend\n")
+		}
 	}
 
 	sum := quality.Summarize(g, res.Labels)
@@ -215,8 +251,26 @@ func serve(addr, algo, backend, graphPath, genName string, n, deg int, seed int6
 		fmt.Printf("job %d: %s on %s\n", st.ID, st.Algo, st.Graph)
 	}
 	fmt.Printf("serving on %s (GET /metrics, /healthz, /jobs, /debug/vars, /debug/pprof)\n", addr)
-	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting connections,
+	// cancel in-flight jobs, and give handlers a bounded grace period.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := httpapi.NewHTTPServer(addr, srv.Handler())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "nulpa: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down")
+	srv.CancelAll()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "nulpa: shutdown: %v\n", err)
 		os.Exit(1)
 	}
 }

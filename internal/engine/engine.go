@@ -16,6 +16,7 @@
 package engine
 
 import (
+	"context"
 	"time"
 
 	"nulpa/internal/graph"
@@ -39,6 +40,11 @@ type Detector interface {
 // Options{} runs any detector in its reference configuration. Fields a
 // detector has no analogue for are ignored (documented per adapter).
 type Options struct {
+	// Context carries cancellation and a per-run deadline. Every detector
+	// checks it at least once per outer-loop iteration and returns
+	// ErrCanceled or ErrDeadline when it ends the run early. nil means
+	// context.Background() (no cancellation).
+	Context context.Context
 	// MaxIterations caps the algorithm's outer loop (propagation rounds;
 	// aggregation levels for Louvain). 0 keeps the algorithm's default.
 	MaxIterations int

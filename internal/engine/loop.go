@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"time"
 
 	"nulpa/internal/telemetry"
@@ -13,7 +14,15 @@ type LoopConfig struct {
 	// Threshold is the absolute convergence bound: the loop stops once an
 	// iteration's net ΔN falls strictly below it (detectors derive it from
 	// their tolerance, e.g. τ·|V|, or use 1 for "no change at all").
+	// A Threshold of zero (or below) disables the test — no ΔN is strictly
+	// below it — so only Stop, an iteration error, or MaxIterations can end
+	// the loop.
 	Threshold float64
+	// Ctx, when non-nil, is checked before every iteration; a canceled or
+	// expired context ends the loop with ErrCanceled/ErrDeadline in
+	// LoopResult.Err. Cancellation is therefore observed within one
+	// iteration's worth of wall time.
+	Ctx context.Context
 	// Profiler, when non-nil, receives each iteration's record as it
 	// completes.
 	Profiler *telemetry.Recorder
@@ -32,6 +41,11 @@ type IterOutcome struct {
 	// Stop ends the loop immediately, marking the run converged (e.g. a
 	// detector-specific fixed-point rule).
 	Stop bool
+	// Err aborts the loop: the iteration failed in a way the detector could
+	// not recover from (kernel fault after retries, mid-iteration
+	// cancellation). The loop records the iteration's telemetry, stops
+	// without marking convergence, and surfaces the error in LoopResult.Err.
+	Err error
 }
 
 // LoopResult is the bookkeeping Loop accumulates for the detector's result.
@@ -40,6 +54,9 @@ type LoopResult struct {
 	Converged  bool
 	Trace      []telemetry.IterRecord
 	Duration   time.Duration
+	// Err is non-nil when the loop ended early on cancellation, deadline
+	// expiry, or an iteration error; the detector must propagate it.
+	Err error
 }
 
 // Loop drives the tolerance-based convergence loop every synchronous-round
@@ -50,6 +67,13 @@ func Loop(cfg LoopConfig, body func(iter int) IterOutcome) LoopResult {
 	var lr LoopResult
 	start := time.Now()
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				lr.Err = CtxErr(err)
+				mInterrupts.Inc()
+				break
+			}
+		}
 		iterStart := time.Now()
 		out := body(iter)
 		rec := out.Record
@@ -65,6 +89,13 @@ func Loop(cfg LoopConfig, body func(iter int) IterOutcome) LoopResult {
 		mIterSeconds.Observe(rec.Duration.Seconds())
 		lr.Trace = append(lr.Trace, rec)
 		lr.Iterations = iter + 1
+		if out.Err != nil {
+			lr.Err = out.Err
+			if IsInterrupt(out.Err) {
+				mInterrupts.Inc()
+			}
+			break
+		}
 		if out.Stop {
 			lr.Converged = true
 			break

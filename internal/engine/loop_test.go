@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nulpa/internal/telemetry"
+)
+
+// TestLoopDeadlineBeforeFirstIteration: a context that is already expired
+// must end the loop with ErrDeadline and zero iterations — the body never
+// runs.
+func TestLoopDeadlineBeforeFirstIteration(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	ran := 0
+	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 1, Ctx: ctx}, func(iter int) IterOutcome {
+		ran++
+		return IterOutcome{}
+	})
+	if !errors.Is(lr.Err, ErrDeadline) {
+		t.Fatalf("lr.Err = %v, want ErrDeadline", lr.Err)
+	}
+	if ran != 0 {
+		t.Errorf("body ran %d times under an expired deadline", ran)
+	}
+	if lr.Converged {
+		t.Error("an interrupted loop must not report convergence")
+	}
+}
+
+// TestLoopCancelMidIteration: a cancel that lands while an iteration is in
+// flight ends the loop before the next iteration starts, with ErrCanceled.
+func TestLoopCancelMidIteration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ran := 0
+	lr := Loop(LoopConfig{MaxIterations: 100, Threshold: 0, Ctx: ctx}, func(iter int) IterOutcome {
+		ran++
+		if iter == 2 {
+			cancel() // arrives mid-iteration; observed at the next boundary
+		}
+		return IterOutcome{Record: telemetry.IterRecord{DeltaN: 100}}
+	})
+	if !errors.Is(lr.Err, ErrCanceled) {
+		t.Fatalf("lr.Err = %v, want ErrCanceled", lr.Err)
+	}
+	if ran != 3 {
+		t.Errorf("body ran %d times, want 3 (cancel during iteration 2)", ran)
+	}
+	if lr.Iterations != 3 {
+		t.Errorf("Iterations = %d, want 3: completed iterations still count", lr.Iterations)
+	}
+	if len(lr.Trace) != 3 {
+		t.Errorf("Trace has %d records, want 3: completed iterations keep their telemetry", len(lr.Trace))
+	}
+}
+
+// TestLoopZeroThresholdWithForceContinue: Threshold 0 disables the ΔN test,
+// and ForceContinue must not interact with it — the loop runs to
+// MaxIterations even though every iteration reports ΔN 0.
+func TestLoopZeroThresholdWithForceContinue(t *testing.T) {
+	ran := 0
+	lr := Loop(LoopConfig{MaxIterations: 7, Threshold: 0}, func(iter int) IterOutcome {
+		ran++
+		return IterOutcome{ForceContinue: iter%2 == 0} // alternate, to hit both paths
+	})
+	if ran != 7 {
+		t.Errorf("body ran %d times, want 7: zero threshold disables convergence", ran)
+	}
+	if lr.Converged {
+		t.Error("Converged = true, but the loop exhausted MaxIterations")
+	}
+	if lr.Err != nil {
+		t.Errorf("lr.Err = %v, want nil", lr.Err)
+	}
+}
+
+// TestLoopIterErrAborts: a body error ends the loop immediately and is
+// surfaced verbatim; its iteration's telemetry is still recorded.
+func TestLoopIterErrAborts(t *testing.T) {
+	boom := errors.New("kernel faulted")
+	ran := 0
+	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 1}, func(iter int) IterOutcome {
+		ran++
+		if iter == 1 {
+			return IterOutcome{Err: boom, Record: telemetry.IterRecord{Moves: 5}}
+		}
+		return IterOutcome{Record: telemetry.IterRecord{DeltaN: 10}}
+	})
+	if !errors.Is(lr.Err, boom) {
+		t.Fatalf("lr.Err = %v, want %v", lr.Err, boom)
+	}
+	if ran != 2 {
+		t.Errorf("body ran %d times, want 2", ran)
+	}
+	if lr.Converged {
+		t.Error("a failed loop must not report convergence")
+	}
+	if len(lr.Trace) != 2 {
+		t.Errorf("Trace has %d records, want 2 (the failing iteration is recorded)", len(lr.Trace))
+	}
+}
+
+// TestLoopNilContext: the zero LoopConfig context means "no cancellation" —
+// identical behaviour to before the plumbing existed.
+func TestLoopNilContext(t *testing.T) {
+	lr := Loop(LoopConfig{MaxIterations: 3, Threshold: 1}, func(iter int) IterOutcome {
+		return IterOutcome{Record: telemetry.IterRecord{DeltaN: 0}}
+	})
+	if lr.Err != nil || !lr.Converged || lr.Iterations != 1 {
+		t.Errorf("lr = %+v, want converged after 1 iteration with nil Err", lr)
+	}
+}
+
+func TestCtxErrMapping(t *testing.T) {
+	if got := CtxErr(nil); got != nil {
+		t.Errorf("CtxErr(nil) = %v", got)
+	}
+	if got := CtxErr(context.DeadlineExceeded); !errors.Is(got, ErrDeadline) {
+		t.Errorf("CtxErr(DeadlineExceeded) = %v, want ErrDeadline", got)
+	}
+	if got := CtxErr(context.Canceled); !errors.Is(got, ErrCanceled) {
+		t.Errorf("CtxErr(Canceled) = %v, want ErrCanceled", got)
+	}
+	if !IsInterrupt(ErrCanceled) || !IsInterrupt(ErrDeadline) {
+		t.Error("IsInterrupt must accept both typed interrupts")
+	}
+	if IsInterrupt(errors.New("other")) {
+		t.Error("IsInterrupt accepted an unrelated error")
+	}
+}

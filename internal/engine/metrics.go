@@ -32,6 +32,10 @@ var (
 		"Runs whose own stopping rule ended the loop, per detector.", "detector")
 	mActiveRuns = metrics.NewGauge("engine_active_runs",
 		"Detect calls currently executing.")
+	mInterrupts = metrics.NewCounter("engine_loop_interrupts_total",
+		"Convergence loops ended early by cancellation or deadline expiry.")
+	mRunsCanceled = metrics.NewCounterVec("engine_runs_canceled_total",
+		"Detect calls ended by cancellation or deadline, per detector.", "detector")
 )
 
 // instrumented decorates a Detector with the run-grained metric families. It
@@ -51,7 +55,13 @@ func (w instrumented) Detect(g *graph.CSR, opt Options) (*Result, error) {
 	mActiveRuns.Add(-1)
 	mRunSeconds.With(name).Observe(time.Since(start).Seconds())
 	if err != nil {
-		mRunErrors.With(name).Inc()
+		// Interruptions are the caller's doing, not detector failures; they
+		// get their own family so error-rate alerts stay meaningful.
+		if IsInterrupt(err) {
+			mRunsCanceled.With(name).Inc()
+		} else {
+			mRunErrors.With(name).Inc()
+		}
 		return res, err
 	}
 	mRuns.With(name).Inc()

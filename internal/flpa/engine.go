@@ -28,13 +28,19 @@ func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error)
 		}
 		fopt = o
 	}
+	if opt.Context != nil {
+		fopt.Context = opt.Context
+	}
 	if opt.Seed != 0 {
 		fopt.Seed = opt.Seed
 	}
 	if opt.Profiler != nil {
 		fopt.Profiler = opt.Profiler
 	}
-	fres := Detect(g, fopt)
+	fres, err := Detect(g, fopt)
+	if err != nil {
+		return nil, err
+	}
 	res := engine.NewResult(fres.Labels)
 	res.Iterations = len(fres.Trace)
 	res.Converged = fopt.MaxSteps == 0 || fres.Steps < fopt.MaxSteps

@@ -6,16 +6,23 @@
 package flpa
 
 import (
+	"context"
 	"math/rand"
 	"slices"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
 	"nulpa/internal/telemetry"
 )
 
 // Options configure an FLPA run.
 type Options struct {
+	// Context, when non-nil, cancels the run; FLPA has no synchronous
+	// iterations, so cancellation is checked every ctxCheckEvery queue pops
+	// and the detector returns engine.ErrCanceled or engine.ErrDeadline.
+	Context context.Context
+
 	// Seed drives the random choice among equally dominant labels — the
 	// one place FLPA uses randomness.
 	Seed int64
@@ -43,8 +50,17 @@ type Result struct {
 	Trace []telemetry.IterRecord
 }
 
+// ctxCheckEvery is how many queue pops FLPA processes between cancellation
+// checks — cheap enough to be invisible, frequent enough that a canceled run
+// returns within a fraction of a generation.
+const ctxCheckEvery = 4096
+
 // Detect runs FLPA on g.
-func Detect(g *graph.CSR, opt Options) *Result {
+func Detect(g *graph.CSR, opt Options) (*Result, error) {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumVertices()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	labels := make([]uint32, n)
@@ -92,6 +108,11 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	for head < len(queue) {
 		if opt.MaxSteps > 0 && steps >= opt.MaxSteps {
 			break
+		}
+		if steps%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, engine.CtxErr(err)
+			}
 		}
 		if head == genEnd {
 			flushGen()
@@ -169,5 +190,5 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	}
 	flushGen()
 	res.Labels, res.Steps, res.Duration = labels, steps, time.Since(start)
-	return res
+	return res, nil
 }

@@ -9,7 +9,7 @@ import (
 
 func TestPlantedRecovery(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 400, Communities: 8, DegIn: 14, DegOut: 0.5, Seed: 3})
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.85 {
 		t.Errorf("NMI = %.3f, want >= 0.85", nmi)
 	}
@@ -20,7 +20,7 @@ func TestPlantedRecovery(t *testing.T) {
 
 func TestQueueDrains(t *testing.T) {
 	g := gen.ErdosRenyi(500, 2000, 7)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if res.Steps == 0 {
 		t.Fatal("no work performed")
 	}
@@ -33,7 +33,7 @@ func TestQueueDrains(t *testing.T) {
 
 func TestTwoCliquesMerge(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 40, Communities: 2, DegIn: 12, DegOut: 0.2, Seed: 5})
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.9 {
 		t.Errorf("NMI = %.3f", nmi)
 	}
@@ -41,7 +41,7 @@ func TestTwoCliquesMerge(t *testing.T) {
 
 func TestIsolatedVertices(t *testing.T) {
 	g := gen.Star(5) // vertices 0..4; plus make some isolated via larger n
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if c := quality.CountCommunities(res.Labels); c != 1 {
 		t.Errorf("star communities = %d, want 1", c)
 	}
@@ -51,7 +51,7 @@ func TestMaxStepsBound(t *testing.T) {
 	g := gen.ErdosRenyi(400, 1600, 2)
 	opt := DefaultOptions()
 	opt.MaxSteps = 10
-	res := Detect(g, opt)
+	res := must(Detect(g, opt))
 	if res.Steps > 10 {
 		t.Errorf("steps = %d exceeded bound", res.Steps)
 	}
@@ -59,8 +59,8 @@ func TestMaxStepsBound(t *testing.T) {
 
 func TestDeterministicForSeed(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(9, 8, 4))
-	a := Detect(g, Options{Seed: 42})
-	b := Detect(g, Options{Seed: 42})
+	a := must(Detect(g, Options{Seed: 42}))
+	b := must(Detect(g, Options{Seed: 42}))
 	for i := range a.Labels {
 		if a.Labels[i] != b.Labels[i] {
 			t.Fatal("same seed produced different labels")
@@ -70,7 +70,7 @@ func TestDeterministicForSeed(t *testing.T) {
 
 func TestLabelsValid(t *testing.T) {
 	g := gen.Web(gen.DefaultWeb(800, 6, 9))
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	for i, c := range res.Labels {
 		if int(c) >= g.NumVertices() {
 			t.Fatalf("labels[%d] = %d out of range", i, c)
@@ -80,8 +80,17 @@ func TestLabelsValid(t *testing.T) {
 
 func TestEmptyGraph(t *testing.T) {
 	g := gen.MatchedPairs(0)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if len(res.Labels) != 0 {
 		t.Errorf("labels = %v", res.Labels)
 	}
+}
+
+// must unwraps a detector result in tests where no error is expected
+// (no context or fault injection is configured on these runs).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

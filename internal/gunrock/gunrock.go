@@ -8,6 +8,7 @@
 package gunrock
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,9 @@ import (
 
 // Options configure a synchronous LPA run.
 type Options struct {
+	// Context carries cancellation and a per-run deadline; checked once per
+	// iteration. nil means no cancellation.
+	Context context.Context
 	// MaxIterations caps iterations (Gunrock's default behaviour is a
 	// small fixed budget; 10 here).
 	MaxIterations int
@@ -44,8 +48,10 @@ type Result struct {
 	Trace []telemetry.IterRecord
 }
 
-// Detect runs synchronous label propagation on g.
-func Detect(g *graph.CSR, opt Options) *Result {
+// Detect runs synchronous label propagation on g. It returns
+// engine.ErrCanceled / engine.ErrDeadline when opt.Context ends the run
+// early.
+func Detect(g *graph.CSR, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	workers := opt.Workers
 	if workers <= 0 {
@@ -65,6 +71,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	lr := engine.Loop(engine.LoopConfig{
 		MaxIterations: opt.MaxIterations,
 		Threshold:     1,
+		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(iter int) engine.IterOutcome {
 		var changed int64
@@ -120,10 +127,13 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		cur, next = next, cur
 		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: changed, DeltaN: changed}}
 	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
 	res.Iterations = lr.Iterations
 	res.Converged = lr.Converged
 	res.Trace = lr.Trace
 	res.Duration = lr.Duration
 	res.Labels = cur
-	return res
+	return res, nil
 }

@@ -10,7 +10,7 @@ import (
 func TestPlantedStructureFound(t *testing.T) {
 	// Synchronous LPA still finds well-separated communities.
 	g, truth := gen.Planted(gen.PlantedConfig{N: 400, Communities: 8, DegIn: 14, DegOut: 0.5, Seed: 3})
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.6 {
 		t.Errorf("NMI = %.3f, want >= 0.6", nmi)
 	}
@@ -21,7 +21,7 @@ func TestPlantedStructureFound(t *testing.T) {
 // sides exchange labels every iteration and never settle.
 func TestOscillatesOnBipartite(t *testing.T) {
 	g := gen.CompleteBipartite(16, 16)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if res.Converged {
 		t.Error("synchronous LPA converged on K(16,16); expected oscillation")
 	}
@@ -32,7 +32,7 @@ func TestOscillatesOnBipartite(t *testing.T) {
 
 func TestMatchedPairsOscillate(t *testing.T) {
 	g := gen.MatchedPairs(100)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if res.Converged {
 		t.Error("synchronous LPA converged on matched pairs; expected swaps")
 	}
@@ -45,7 +45,7 @@ func TestMatchedPairsOscillate(t *testing.T) {
 
 func TestStarConverges(t *testing.T) {
 	g := gen.Star(50)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	// Hub adopts the smallest leaf label; leaves adopt the hub's label;
 	// eventually all agree (star is asymmetric enough).
 	if c := quality.CountCommunities(res.Labels); c > 2 {
@@ -56,7 +56,7 @@ func TestStarConverges(t *testing.T) {
 func TestLabelsValidAndBudget(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(9, 6, 7))
 	opt := Options{MaxIterations: 3}
-	res := Detect(g, opt)
+	res := must(Detect(g, opt))
 	if res.Iterations > 3 {
 		t.Errorf("iterations = %d", res.Iterations)
 	}
@@ -69,8 +69,17 @@ func TestLabelsValidAndBudget(t *testing.T) {
 
 func TestEmptyGraph(t *testing.T) {
 	g := gen.MatchedPairs(0)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if len(res.Labels) != 0 {
 		t.Errorf("labels = %v", res.Labels)
 	}
+}
+
+// must unwraps a detector result in tests where no error is expected
+// (no context or fault injection is configured on these runs).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -27,6 +27,9 @@ func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error)
 		}
 		gopt = o
 	}
+	if opt.Context != nil {
+		gopt.Context = opt.Context
+	}
 	if opt.MaxIterations > 0 {
 		gopt.MaxIterations = opt.MaxIterations
 	}
@@ -39,7 +42,10 @@ func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error)
 	if opt.Profiler != nil {
 		gopt.Profiler = opt.Profiler
 	}
-	gres := Detect(g, gopt)
+	gres, err := Detect(g, gopt)
+	if err != nil {
+		return nil, err
+	}
 	res := engine.NewResult(gres.Labels)
 	res.Iterations = gres.Iterations
 	res.Converged = gres.Converged

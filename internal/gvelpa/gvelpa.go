@@ -8,6 +8,8 @@
 package gvelpa
 
 import (
+	"context"
+
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +22,10 @@ import (
 
 // Options configure a GVE-LPA run.
 type Options struct {
+	// Context, when non-nil, cancels the run between iterations; the
+	// detector returns engine.ErrCanceled or engine.ErrDeadline.
+	Context context.Context
+
 	// MaxIterations caps iterations (paper: 20).
 	MaxIterations int
 	// Tolerance is the per-iteration convergence threshold τ (paper: 0.05).
@@ -100,7 +106,7 @@ func (t *threadTable) clear() {
 }
 
 // Detect runs GVE-LPA on g.
-func Detect(g *graph.CSR, opt Options) *Result {
+func Detect(g *graph.CSR, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	workers := opt.Workers
 	if workers <= 0 {
@@ -124,6 +130,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	lr := engine.Loop(engine.LoopConfig{
 		MaxIterations: opt.MaxIterations,
 		Threshold:     opt.Tolerance * float64(n),
+		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(iter int) engine.IterOutcome {
 		var changed int64
@@ -180,10 +187,13 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		wg.Wait()
 		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: changed, DeltaN: changed}}
 	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
 	res.Iterations = lr.Iterations
 	res.Converged = lr.Converged
 	res.Trace = lr.Trace
 	res.Duration = lr.Duration
 	res.Labels = labels
-	return res
+	return res, nil
 }

@@ -9,7 +9,7 @@ import (
 
 func TestPlantedRecovery(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 400, Communities: 8, DegIn: 14, DegOut: 0.5, Seed: 3})
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if !res.Converged {
 		t.Errorf("did not converge in %d iterations", res.Iterations)
 	}
@@ -25,7 +25,7 @@ func TestThreadTableSpace(t *testing.T) {
 	g := gen.ErdosRenyi(1000, 4000, 2)
 	opt := DefaultOptions()
 	opt.Workers = 4
-	res := Detect(g, opt)
+	res := must(Detect(g, opt))
 	// O(T·N) doubles: 4 workers × 1000 vertices × 8 bytes.
 	if res.ThreadTableBytes != 4*1000*8 {
 		t.Errorf("ThreadTableBytes = %d, want %d", res.ThreadTableBytes, 4*1000*8)
@@ -72,7 +72,7 @@ func TestSingleWorker(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 300, Communities: 6, DegIn: 12, DegOut: 0.5, Seed: 4})
 	opt := DefaultOptions()
 	opt.Workers = 1
-	res := Detect(g, opt)
+	res := must(Detect(g, opt))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.85 {
 		t.Errorf("NMI = %.3f", nmi)
 	}
@@ -80,7 +80,7 @@ func TestSingleWorker(t *testing.T) {
 
 func TestLabelsValid(t *testing.T) {
 	g := gen.Web(gen.DefaultWeb(900, 6, 2))
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	for i, c := range res.Labels {
 		if int(c) >= g.NumVertices() {
 			t.Fatalf("labels[%d] = %d out of range", i, c)
@@ -90,8 +90,17 @@ func TestLabelsValid(t *testing.T) {
 
 func TestEmptyGraph(t *testing.T) {
 	g := gen.MatchedPairs(0)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if len(res.Labels) != 0 {
 		t.Errorf("labels = %v", res.Labels)
 	}
+}
+
+// must unwraps a detector result in tests where no error is expected
+// (no context or fault injection is configured on these runs).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,11 +34,18 @@ type JobSpec struct {
 type JobState string
 
 const (
-	JobPending JobState = "pending"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobPending  JobState = "pending"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
 )
+
+// Terminal reports whether the state is final: a terminal job never changes
+// state again and is eligible for store eviction.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
 
 // JobStatus is the JSON view of one job returned by /jobs and /jobs/{id}.
 type JobStatus struct {
@@ -70,6 +78,11 @@ type job struct {
 	rec       *telemetry.Recorder
 	res       *engine.Result
 	mod       float64
+	// cancel aborts the run's context; safe to call at any time, in any
+	// state, any number of times.
+	cancel context.CancelFunc
+	// store backlinks for terminal-state eviction accounting.
+	store *jobStore
 }
 
 func (j *job) status() JobStatus {
@@ -107,16 +120,28 @@ var (
 		"Jobs that reached a terminal state.", "state")
 	mJobsActive = metrics.NewGauge("httpapi_jobs_active",
 		"Jobs currently running.")
+	mJobsEvicted = metrics.NewCounter("httpapi_jobs_evicted_total",
+		"Finished jobs dropped from the store by the retention cap.")
+	mJobPanics = metrics.NewCounter("httpapi_job_panics_total",
+		"Detector panics recovered by the job runner.")
 )
 
-// jobStore holds every job of a server's lifetime.
+// DefaultMaxFinishedJobs is the retention cap on terminal jobs: once more
+// than this many jobs have finished, the oldest finished jobs are evicted
+// from the store (running and pending jobs are never evicted).
+const DefaultMaxFinishedJobs = 256
+
+// jobStore holds the jobs of a server's lifetime, bounded by maxFinished.
 type jobStore struct {
-	mu   sync.Mutex
-	next int
-	jobs map[int]*job
+	mu          sync.Mutex
+	next        int
+	jobs        map[int]*job
+	maxFinished int
 }
 
-func newJobStore() *jobStore { return &jobStore{next: 1, jobs: map[int]*job{}} }
+func newJobStore() *jobStore {
+	return &jobStore{next: 1, jobs: map[int]*job{}, maxFinished: DefaultMaxFinishedJobs}
+}
 
 // submit validates the spec, registers the job, and starts it on its own
 // goroutine. The graph is built inside the job so a slow generator or file
@@ -128,11 +153,14 @@ func (s *jobStore) submit(spec JobSpec) (*job, error) {
 	if spec.Graph.Path == "" && spec.Graph.Gen == "" {
 		return nil, fmt.Errorf("job needs graph.path or graph.gen")
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		spec:      spec,
 		state:     JobPending,
 		submitted: time.Now(),
 		rec:       telemetry.NewRecorder(),
+		cancel:    cancel,
+		store:     s,
 	}
 	s.mu.Lock()
 	j.id = s.next
@@ -140,7 +168,7 @@ func (s *jobStore) submit(spec JobSpec) (*job, error) {
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 	mJobsSubmitted.Inc()
-	go j.run()
+	go j.run(ctx)
 	return j, nil
 }
 
@@ -167,25 +195,70 @@ func (s *jobStore) list() []JobStatus {
 	return out
 }
 
+// requestCancel asks the run to stop. It reports false when the job is
+// already terminal (nothing left to cancel). The run observes the canceled
+// context at its next iteration boundary and finishes as JobCanceled.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if terminal {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// finish moves the job to a terminal state exactly once; late callers (a
+// cancel racing a natural completion, a panic unwinding after a failure)
+// are no-ops. It releases the run's context resources and triggers store
+// eviction accounting.
+func (j *job) finish(state JobState, err error, res *engine.Result, mod float64) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state, j.err, j.res, j.mod = state, err, res, mod
+	j.mu.Unlock()
+	j.cancel()
+	mJobsByState.With(string(state)).Inc()
+	j.store.noteFinished()
+}
+
 // run executes the job to completion. It is the only writer of state after
-// submission.
-func (j *job) run() {
+// submission. A panicking detector is recovered here: the job fails, the
+// server survives.
+func (j *job) run(ctx context.Context) {
 	j.mu.Lock()
 	j.state = JobRunning
 	j.mu.Unlock()
 	mJobsActive.Add(1)
 	defer mJobsActive.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			mJobPanics.Inc()
+			j.finish(JobFailed, fmt.Errorf("detector panic: %v", r), nil, 0)
+		}
+	}()
 
 	fail := func(err error) {
-		j.mu.Lock()
-		j.state, j.err = JobFailed, err
-		j.mu.Unlock()
-		mJobsByState.With(string(JobFailed)).Inc()
+		state := JobFailed
+		if engine.IsInterrupt(err) {
+			state = JobCanceled
+		}
+		j.finish(state, err, nil, 0)
 	}
 
 	g, err := j.spec.Graph.Build()
 	if err != nil {
 		fail(err)
+		return
+	}
+	// A cancel that lands while the graph was building should not start the
+	// detector at all.
+	if err := ctx.Err(); err != nil {
+		fail(engine.CtxErr(err))
 		return
 	}
 	det, err := engine.MustGet(j.spec.Algo)
@@ -195,6 +268,7 @@ func (j *job) run() {
 	}
 
 	opt := engine.DefaultOptions()
+	opt.Context = ctx
 	opt.MaxIterations = j.spec.MaxIterations
 	opt.Tolerance = j.spec.Tolerance
 	if j.spec.Seed != 0 {
@@ -219,8 +293,47 @@ func (j *job) run() {
 		return
 	}
 	mod := quality.Modularity(g, res.Labels)
-	j.mu.Lock()
-	j.state, j.res, j.mod = JobDone, res, mod
-	j.mu.Unlock()
-	mJobsByState.With(string(JobDone)).Inc()
+	j.finish(JobDone, nil, res, mod)
+}
+
+// noteFinished enforces the retention cap: when more than maxFinished jobs
+// are terminal, the oldest terminal jobs are evicted. Running and pending
+// jobs are never evicted, so a cancel or status probe on a live job always
+// resolves.
+func (s *jobStore) noteFinished() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxFinished <= 0 {
+		return
+	}
+	finished := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if terminal {
+			finished = append(finished, j)
+		}
+	}
+	if len(finished) <= s.maxFinished {
+		return
+	}
+	sort.Slice(finished, func(a, b int) bool { return finished[a].id < finished[b].id })
+	for _, j := range finished[:len(finished)-s.maxFinished] {
+		delete(s.jobs, j.id)
+		mJobsEvicted.Inc()
+	}
+}
+
+// cancelAll requests cancellation of every live job (server shutdown path).
+func (s *jobStore) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.requestCancel()
+	}
 }

@@ -47,9 +47,22 @@ type Server struct {
 	mux   *http.ServeMux
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithMaxFinishedJobs caps how many terminal jobs the store retains; the
+// oldest finished jobs beyond the cap are evicted. n <= 0 disables eviction.
+// The default is DefaultMaxFinishedJobs.
+func WithMaxFinishedJobs(n int) Option {
+	return func(s *Server) { s.jobs.maxFinished = n }
+}
+
 // NewServer returns a Server with an empty job store.
-func NewServer() *Server {
+func NewServer(opts ...Option) *Server {
 	s := &Server{jobs: newJobStore(), start: time.Now(), mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.handle("GET /healthz", "healthz", s.healthz)
 	s.handle("GET /metrics", "metrics", s.metrics)
 	s.handle("GET /debug/vars", "vars", s.vars)
@@ -57,6 +70,7 @@ func NewServer() *Server {
 	s.handle("POST /jobs", "jobs-submit", s.submitJob)
 	s.handle("GET /jobs", "jobs-list", s.listJobs)
 	s.handle("GET /jobs/{id}", "jobs-get", s.getJob)
+	s.handle("DELETE /jobs/{id}", "jobs-cancel", s.cancelJob)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -64,6 +78,26 @@ func NewServer() *Server {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
+
+// NewHTTPServer wraps handler in an http.Server bound to addr with the
+// connection timeouts a long-lived service needs: a slow-loris client cannot
+// hold a connection open indefinitely, and idle keep-alives are reaped.
+// Detection itself is unaffected — jobs run on their own goroutines and are
+// polled, never streamed.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// CancelAll requests cancellation of every live job. The -serve shutdown
+// path calls it so in-flight detections unwind before the listener closes.
+func (s *Server) CancelAll() { s.jobs.cancelAll() }
 
 // Handler returns the server's route table.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -129,6 +163,29 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
+}
+
+// cancelJob handles DELETE /jobs/{id}: request cancellation of a live job.
+// Jobs already in a terminal state return 409 Conflict with their status —
+// a cancel cannot rewrite history. The response is the job's status at the
+// moment of the request; poll GET /jobs/{id} to observe the transition to
+// "canceled" (the run notices the context at its next iteration boundary).
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, ok := s.jobs.get(id)
+	if !ok {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+		return
+	}
+	if !j.requestCancel() {
+		writeJSON(w, http.StatusConflict, j.status())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
 }
 
 // Submit starts a job directly (the -serve CLI path submits its initial job

@@ -31,11 +31,11 @@ func detectAll(t *testing.T, g *graph.CSR) map[string][]uint32 {
 		t.Fatalf("nulpa: %v", err)
 	}
 	out["nulpa"] = res.Labels
-	out["flpa"] = flpa.Detect(g, flpa.DefaultOptions()).Labels
-	out["plp"] = plp.Detect(g, plp.DefaultOptions()).Labels
-	out["gvelpa"] = gvelpa.Detect(g, gvelpa.DefaultOptions()).Labels
-	out["gunrock"] = gunrock.Detect(g, gunrock.DefaultOptions()).Labels
-	out["louvain"] = louvain.Detect(g, louvain.DefaultOptions()).Labels
+	out["flpa"] = must(flpa.Detect(g, flpa.DefaultOptions())).Labels
+	out["plp"] = must(plp.Detect(g, plp.DefaultOptions())).Labels
+	out["gvelpa"] = must(gvelpa.Detect(g, gvelpa.DefaultOptions())).Labels
+	out["gunrock"] = must(gunrock.Detect(g, gunrock.DefaultOptions())).Labels
+	out["louvain"] = must(louvain.Detect(g, louvain.DefaultOptions())).Labels
 	return out
 }
 
@@ -164,4 +164,13 @@ func TestDirectedInputSymmetrized(t *testing.T) {
 	if quality.CountCommunities(res.Labels) != 1 {
 		t.Errorf("path graph split: %v", res.Labels)
 	}
+}
+
+// must unwraps a detector result in tests where no error is expected
+// (no context or fault injection is configured on these runs).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -29,6 +29,9 @@ func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error)
 		}
 		lopt = o
 	}
+	if opt.Context != nil {
+		lopt.Context = opt.Context
+	}
 	if opt.MaxIterations > 0 {
 		lopt.MaxLevels = opt.MaxIterations
 	}
@@ -41,7 +44,10 @@ func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error)
 	if opt.Profiler != nil {
 		lopt.Profiler = opt.Profiler
 	}
-	lres := Detect(g, lopt)
+	lres, err := Detect(g, lopt)
+	if err != nil {
+		return nil, err
+	}
 	res := engine.NewResult(lres.Labels)
 	res.Iterations = lres.Levels
 	res.Converged = lres.Converged

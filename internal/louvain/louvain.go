@@ -11,6 +11,8 @@
 package louvain
 
 import (
+	"context"
+
 	"math"
 	"runtime"
 	"sync"
@@ -24,6 +26,10 @@ import (
 
 // Options configure a Louvain run.
 type Options struct {
+	// Context, when non-nil, cancels the run between iterations; the
+	// detector returns engine.ErrCanceled or engine.ErrDeadline.
+	Context context.Context
+
 	// Resolution γ scales the null-model term; 1 is classic modularity.
 	Resolution float64
 	// Tolerance stops local moving once an iteration's total gain in
@@ -67,7 +73,7 @@ type Result struct {
 }
 
 // Detect runs the Louvain method on g.
-func Detect(g *graph.CSR, opt Options) *Result {
+func Detect(g *graph.CSR, opt Options) (*Result, error) {
 	if opt.Resolution <= 0 {
 		opt.Resolution = 1
 	}
@@ -92,6 +98,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	lr := engine.Loop(engine.LoopConfig{
 		MaxIterations: opt.MaxLevels,
 		Threshold:     1,
+		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(level int) engine.IterOutcome {
 		var comm []uint32
@@ -119,11 +126,14 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		work = aggregate(work, comm, numComm)
 		return out
 	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
 	res.Converged = lr.Converged
 	res.Trace = lr.Trace
 	res.Labels = membership
 	res.Duration = lr.Duration
-	return res
+	return res, nil
 }
 
 // localMove performs modularity-greedy label sweeps on g and returns the

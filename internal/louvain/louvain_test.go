@@ -10,7 +10,7 @@ import (
 
 func TestPlantedRecovery(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 400, Communities: 8, DegIn: 14, DegOut: 0.5, Seed: 3})
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.9 {
 		t.Errorf("NMI = %.3f, want >= 0.9", nmi)
 	}
@@ -24,7 +24,7 @@ func TestBeatsLPAQualityOnNoisyGraph(t *testing.T) {
 	// modularity. Compare against the trivial singleton baseline and assert
 	// strong positive modularity on a noisy community graph.
 	g, _ := gen.Planted(gen.PlantedConfig{N: 500, Communities: 10, DegIn: 8, DegOut: 3, Seed: 7})
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	q := quality.Modularity(g, res.Labels)
 	if q < 0.3 {
 		t.Errorf("Q = %.3f on noisy planted graph, want >= 0.3", q)
@@ -68,7 +68,7 @@ func TestAggregatedModularityConsistent(t *testing.T) {
 func TestMultiLevelContraction(t *testing.T) {
 	// Hierarchical graph: cliques of cliques should trigger >= 2 levels.
 	g := hierarchicalCliques(t)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if res.Levels < 1 {
 		t.Errorf("levels = %d, want >= 1", res.Levels)
 	}
@@ -111,8 +111,8 @@ func hierarchicalCliques(t *testing.T) *graph.CSR {
 
 func TestResolutionParameter(t *testing.T) {
 	g, _ := gen.Planted(gen.PlantedConfig{N: 300, Communities: 6, DegIn: 10, DegOut: 1, Seed: 13})
-	low := Detect(g, Options{Resolution: 0.3, MaxLevels: 20, MaxLocalIterations: 50})
-	high := Detect(g, Options{Resolution: 3, MaxLevels: 20, MaxLocalIterations: 50})
+	low := must(Detect(g, Options{Resolution: 0.3, MaxLevels: 20, MaxLocalIterations: 50}))
+	high := must(Detect(g, Options{Resolution: 3, MaxLevels: 20, MaxLocalIterations: 50}))
 	cl := quality.CountCommunities(low.Labels)
 	ch := quality.CountCommunities(high.Labels)
 	if cl > ch {
@@ -122,7 +122,7 @@ func TestResolutionParameter(t *testing.T) {
 
 func TestLabelsValid(t *testing.T) {
 	g := gen.Web(gen.DefaultWeb(600, 6, 3))
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if len(res.Labels) != g.NumVertices() {
 		t.Fatalf("labels length %d", len(res.Labels))
 	}
@@ -130,12 +130,12 @@ func TestLabelsValid(t *testing.T) {
 
 func TestEmptyAndEdgeless(t *testing.T) {
 	g := gen.MatchedPairs(0)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if len(res.Labels) != 0 {
 		t.Errorf("labels = %v", res.Labels)
 	}
 	edgeless, _ := graph.FromEdges(nil, 5, graph.DefaultBuildOptions())
-	res = Detect(edgeless, DefaultOptions())
+	res = must(Detect(edgeless, DefaultOptions()))
 	if quality.CountCommunities(res.Labels) != 5 {
 		t.Error("edgeless graph should stay singletons")
 	}
@@ -143,8 +143,8 @@ func TestEmptyAndEdgeless(t *testing.T) {
 
 func TestParallelLocalMoveQuality(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 600, Communities: 12, DegIn: 12, DegOut: 1, Seed: 21})
-	seq := Detect(g, DefaultOptions())
-	par := Detect(g, Options{Resolution: 1, Tolerance: 1e-6, MaxLevels: 20, MaxLocalIterations: 50, Workers: 8})
+	seq := must(Detect(g, DefaultOptions()))
+	par := must(Detect(g, Options{Resolution: 1, Tolerance: 1e-6, MaxLevels: 20, MaxLocalIterations: 50, Workers: 8}))
 	qs := quality.Modularity(g, seq.Labels)
 	qp := quality.Modularity(g, par.Labels)
 	if qp < qs-0.1 {
@@ -157,8 +157,17 @@ func TestParallelLocalMoveQuality(t *testing.T) {
 
 func TestParallelLouvainEmptyAndTrivial(t *testing.T) {
 	empty := gen.MatchedPairs(0)
-	res := Detect(empty, Options{Workers: 4, MaxLevels: 5, MaxLocalIterations: 5, Resolution: 1})
+	res := must(Detect(empty, Options{Workers: 4, MaxLevels: 5, MaxLocalIterations: 5, Resolution: 1}))
 	if len(res.Labels) != 0 {
 		t.Errorf("labels = %v", res.Labels)
 	}
+}
+
+// must unwraps a detector result in tests where no error is expected
+// (no context or fault injection is configured on these runs).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

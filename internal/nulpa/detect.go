@@ -1,6 +1,8 @@
 package nulpa
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -12,11 +14,30 @@ import (
 	"nulpa/internal/simt"
 )
 
+// Typed fault errors. Callers match with errors.Is.
+var (
+	// ErrFaulted reports that the simt backend exhausted its per-iteration
+	// recovery budget (MaxRetries consecutive failed attempts) and the run
+	// could not continue on the device.
+	ErrFaulted = errors.New("nulpa: simt backend faulted beyond recovery")
+	// ErrCorruptLabels reports that the post-iteration validity check found
+	// an out-of-range label — transient memory corruption the kernels
+	// cannot have produced themselves.
+	ErrCorruptLabels = errors.New("nulpa: label array failed validity check")
+)
+
 // Detect runs ν-LPA on g and returns the community membership of every
 // vertex (Algorithm 1). The graph must be undirected (as produced by the
-// graph package builders). It returns an error only for invalid options or
-// when the simulated device cannot hold the working set (the paper's
-// out-of-memory condition on sk-2005).
+// graph package builders). It returns an error for invalid options, when the
+// simulated device cannot hold the working set (the paper's out-of-memory
+// condition on sk-2005), when Options.Context ends the run early
+// (engine.ErrCanceled / engine.ErrDeadline), or — with DisableFallback —
+// when the simt backend faults beyond recovery (ErrFaulted).
+//
+// Without DisableFallback, a run that exhausts the simt recovery budget
+// degrades gracefully: it is re-executed on the sequential backend (the
+// recovery ladder's last rung), the downgrade is counted in
+// nulpa_backend_fallbacks_total, and the Result carries Degraded.
 func Detect(g *graph.CSR, opt Options) (*Result, error) {
 	if err := checkOptions(&opt); err != nil {
 		return nil, err
@@ -24,7 +45,21 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 	if opt.Backend == BackendDirect {
 		return detectDirect(g, opt)
 	}
-	return detectSIMT(g, opt)
+	res, err := detectSIMT(g, opt)
+	if err != nil && errors.Is(err, ErrFaulted) && !opt.DisableFallback {
+		mFallbacks.Inc()
+		fopt := opt
+		fopt.Backend = BackendDirect
+		fopt.Workers = 1 // sequential: the most conservative rung
+		fopt.Faults = nil
+		fres, ferr := detectDirect(g, fopt)
+		if ferr != nil {
+			return nil, ferr
+		}
+		fres.Degraded = true
+		return fres, nil
+	}
+	return res, err
 }
 
 func checkOptions(opt *Options) error {
@@ -101,41 +136,125 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 	tk := &threadKernel{runState: st, list: low, cand: make([]uint32, len(low))}
 	bk := &blockKernel{runState: st, list: high, blockDim: opt.BlockDim}
 
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Faults != nil && dev.Faults == nil {
+		dev.Faults = opt.Faults
+	}
+	maxRetries := opt.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	backoff := opt.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Microsecond
+	}
+	// Checkpointing: with an injector (or Checkpoint forced), the labels and
+	// pruning flags are snapshotted before every iteration so a faulted
+	// attempt can be rolled back and re-executed. The snapshot is two O(V)
+	// copies per iteration — cheap next to the kernels' O(E) work.
+	var ckptLabels, ckptProcessed []uint32
+	if opt.Faults != nil || opt.Checkpoint {
+		ckptLabels = make([]uint32, n)
+		ckptProcessed = make([]uint32, n)
+	}
+
 	lr := engine.Loop(engine.LoopConfig{
 		MaxIterations: opt.MaxIterations,
 		Threshold:     opt.Tolerance * float64(n),
+		Ctx:           ctx,
 		Profiler:      opt.Profiler,
 	}, func(iter int) engine.IterOutcome {
 		st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
 		crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
-		atomic.StoreInt64(&st.deltaN, 0)
-		atomic.StoreInt64(&st.reverts, 0)
-		if crosscheck {
-			copy(st.prev, st.labels)
-		}
-		hashBase := res.HashStats.Snapshot()
-		casBase := simt.ContentionSnapshot()
-		var pruned int64
-		if opt.Profiler != nil && !st.noPrune {
-			pruned = countPruned(st.processed)
+		if ckptLabels != nil {
+			copy(ckptLabels, st.labels)
+			copy(ckptProcessed, st.processed)
 		}
 
+		// Recovery loop: attempt the iteration, and on a launch fault or a
+		// corrupted label array roll back to the checkpoint and retry with
+		// exponential backoff, up to maxRetries consecutive attempts.
 		var tkDur, bkDur, ckDur time.Duration
-		if len(low) > 0 {
-			t0 := time.Now()
-			dev.Launch1D(len(low), opt.BlockDim, tk)
-			tkDur = time.Since(t0)
-		}
-		if len(high) > 0 {
-			t0 := time.Now()
-			dev.Launch(len(high), opt.BlockDim, bk)
-			bkDur = time.Since(t0)
-		}
-		if crosscheck {
-			ck := &crossCheckKernel{runState: st}
-			t0 := time.Now()
-			dev.Launch1D(n, opt.BlockDim, ck)
-			ckDur = time.Since(t0)
+		var pruned, retries int64
+		var hashBase hashtable.StatsSnapshot
+		var casBase simt.ContentionCounts
+		for attempt := 0; ; attempt++ {
+			atomic.StoreInt64(&st.deltaN, 0)
+			atomic.StoreInt64(&st.reverts, 0)
+			if crosscheck {
+				copy(st.prev, st.labels)
+			}
+			hashBase = res.HashStats.Snapshot()
+			casBase = simt.ContentionSnapshot()
+			pruned = 0
+			if opt.Profiler != nil && !st.noPrune {
+				pruned = countPruned(st.processed)
+			}
+
+			err := func() error {
+				if len(low) > 0 {
+					t0 := time.Now()
+					if err := dev.LaunchKernel1D(ctx, len(low), opt.BlockDim, tk); err != nil {
+						return err
+					}
+					tkDur = time.Since(t0)
+				}
+				if len(high) > 0 {
+					t0 := time.Now()
+					if err := dev.LaunchKernel(ctx, len(high), opt.BlockDim, bk); err != nil {
+						return err
+					}
+					bkDur = time.Since(t0)
+				}
+				if crosscheck {
+					ck := &crossCheckKernel{runState: st}
+					t0 := time.Now()
+					if err := dev.LaunchKernel1D(ctx, n, opt.BlockDim, ck); err != nil {
+						return err
+					}
+					ckDur = time.Since(t0)
+				}
+				return nil
+			}()
+			if err == nil {
+				// Transient-memory fault injection happens after the kernels
+				// so a flip can hit any position the iteration wrote.
+				opt.Faults.CorruptLabels(st.labels)
+				if ckptLabels != nil && !labelsValid(st.labels, n) {
+					mCorruptions.Inc()
+					err = ErrCorruptLabels
+				}
+			}
+			if err == nil {
+				break
+			}
+			// Cancellation and deadline expiry are not faults; surface them
+			// as the run's typed interrupt without burning retries.
+			if cerr := ctx.Err(); cerr != nil {
+				return engine.IterOutcome{Err: engine.CtxErr(cerr)}
+			}
+			if ckptLabels == nil {
+				// No checkpoint to roll back to (fault without injection or
+				// Checkpoint): the run cannot be repaired in place.
+				return engine.IterOutcome{Err: fmt.Errorf("%w: iteration %d: %v", ErrFaulted, iter, err)}
+			}
+			copy(st.labels, ckptLabels)
+			copy(st.processed, ckptProcessed)
+			res.Rollbacks++
+			mRollbacks.Inc()
+			if attempt+1 >= maxRetries {
+				return engine.IterOutcome{Err: fmt.Errorf("%w: iteration %d failed %d consecutive attempts, last: %v",
+					ErrFaulted, iter, attempt+1, err)}
+			}
+			retries++
+			res.Retries++
+			mRetries.Inc()
+			if !sleepCtx(ctx, backoff<<attempt) {
+				return engine.IterOutcome{Err: engine.CtxErr(ctx.Err())}
+			}
 		}
 
 		gross := atomic.LoadInt64(&st.deltaN)
@@ -151,6 +270,7 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 			Reverts:      reverts,
 			DeltaN:       delta,
 			Pruned:       pruned,
+			Retries:      retries,
 			ThreadKernel: tkDur,
 			BlockKernel:  bkDur,
 			CrossKernel:  ckDur,
@@ -172,12 +292,44 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 			Stop: delta == 0 && opt.PickLessEvery == 1,
 		}
 	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
 	res.Iterations = lr.Iterations
 	res.Converged = lr.Converged
 	res.Trace = lr.Trace
 	res.Duration = lr.Duration
 	res.Labels = st.labels
 	return res, nil
+}
+
+// labelsValid is the partition-validity check the recovery path runs after
+// every checkpointed iteration: a label is a vertex id, so any value >= n is
+// corruption (a bit-flip that lands inside [0, n) is indistinguishable from
+// a community move and is left to converge away).
+func labelsValid(labels []uint32, n int) bool {
+	for _, c := range labels {
+		if int(c) >= n {
+			return false
+		}
+	}
+	return true
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports false on
+// cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // countPruned counts vertices whose processed flag is set — the vertices the

@@ -45,6 +45,7 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 	lr := engine.Loop(engine.LoopConfig{
 		MaxIterations: opt.MaxIterations,
 		Threshold:     opt.Tolerance * float64(n),
+		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(iter int) engine.IterOutcome {
 		st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
@@ -127,6 +128,9 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 			Stop:          delta == 0 && opt.PickLessEvery == 1,
 		}
 	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
 	res.Iterations = lr.Iterations
 	res.Converged = lr.Converged
 	res.Trace = lr.Trace

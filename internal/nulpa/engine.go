@@ -45,6 +45,9 @@ func (d Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, erro
 		nopt = o
 	}
 	nopt.Backend = d.Backend
+	if opt.Context != nil {
+		nopt.Context = opt.Context
+	}
 	if opt.MaxIterations > 0 {
 		nopt.MaxIterations = opt.MaxIterations
 	}

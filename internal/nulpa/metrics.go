@@ -1,0 +1,17 @@
+package nulpa
+
+import "nulpa/internal/metrics"
+
+// Recovery-ladder metrics: retry → rollback → backend fallback. They sit in
+// the live registry next to the faults_injected_total families, so a scrape
+// during a chaos run shows injection and recovery side by side.
+var (
+	mRetries = metrics.NewCounter("nulpa_fault_retries_total",
+		"Iteration re-executions performed by simt fault recovery.")
+	mRollbacks = metrics.NewCounter("nulpa_fault_rollbacks_total",
+		"Label-array checkpoint restores after a faulted iteration.")
+	mCorruptions = metrics.NewCounter("nulpa_label_corruptions_total",
+		"Label-array validity failures detected by the post-iteration check.")
+	mFallbacks = metrics.NewCounter("nulpa_backend_fallbacks_total",
+		"Runs downgraded from the simt backend to the sequential backend.")
+)

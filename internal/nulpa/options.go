@@ -15,8 +15,10 @@
 package nulpa
 
 import (
+	"context"
 	"time"
 
+	"nulpa/internal/faults"
 	"nulpa/internal/hashtable"
 	"nulpa/internal/simt"
 	"nulpa/internal/telemetry"
@@ -88,6 +90,31 @@ type Options struct {
 	// vertex is processed every iteration) — the ablation for the paper's
 	// feature (4) in §4.
 	DisablePruning bool
+	// Context carries cancellation and a per-run deadline for both
+	// backends; nil means no cancellation. An interrupted run returns
+	// engine.ErrCanceled or engine.ErrDeadline.
+	Context context.Context
+	// Faults, when non-nil, injects the deterministic fault schedule into
+	// the simt backend: it is installed as the device's launch-fault
+	// injector and consulted for label-array bit-flips after each
+	// iteration. Setting it implies Checkpoint. Ignored by BackendDirect.
+	Faults *faults.Injector
+	// Checkpoint forces per-iteration label-array checkpointing with
+	// validity verification even without an injector — the recovery path
+	// for faults the simulator does not produce itself. Implied by Faults.
+	Checkpoint bool
+	// MaxRetries is the recovery budget: how many consecutive attempts
+	// (initial execution plus re-executions after rollback) one iteration
+	// may consume before the simt backend gives up (default 3). Exhausting
+	// it triggers the sequential fallback unless DisableFallback is set.
+	MaxRetries int
+	// RetryBackoff is the base delay before an iteration retry, doubled per
+	// consecutive failure (default 100µs).
+	RetryBackoff time.Duration
+	// DisableFallback keeps a run that exhausted MaxRetries on the simt
+	// backend: Detect returns ErrFaulted instead of degrading to the
+	// sequential backend.
+	DisableFallback bool
 }
 
 // DefaultOptions returns the paper's published configuration: 20 iterations,
@@ -137,4 +164,13 @@ type Result struct {
 	Duration time.Duration
 	// DeviceBytes is the simulated device memory the run reserved.
 	DeviceBytes int64
+	// Retries is the number of iteration re-executions fault recovery
+	// performed (simt backend).
+	Retries int64
+	// Rollbacks is the number of checkpoint restores — one per failed
+	// attempt that had a checkpoint to return to.
+	Rollbacks int64
+	// Degraded reports that the simt backend exhausted its recovery budget
+	// and the run completed on the sequential backend instead.
+	Degraded bool
 }

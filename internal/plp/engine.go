@@ -29,6 +29,9 @@ func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error)
 		}
 		popt = o
 	}
+	if opt.Context != nil {
+		popt.Context = opt.Context
+	}
 	if opt.MaxIterations > 0 {
 		popt.MaxIterations = opt.MaxIterations
 	}
@@ -41,7 +44,10 @@ func (Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error)
 	if opt.Profiler != nil {
 		popt.Profiler = opt.Profiler
 	}
-	pres := Detect(g, popt)
+	pres, err := Detect(g, popt)
+	if err != nil {
+		return nil, err
+	}
 	res := engine.NewResult(pres.Labels)
 	res.Iterations = pres.Iterations
 	res.Converged = pres.Converged

@@ -8,6 +8,8 @@
 package plp
 
 import (
+	"context"
+
 	"runtime"
 	"slices"
 	"sync"
@@ -21,6 +23,10 @@ import (
 
 // Options configure a PLP run.
 type Options struct {
+	// Context, when non-nil, cancels the run between iterations; the
+	// detector returns engine.ErrCanceled or engine.ErrDeadline.
+	Context context.Context
+
 	// Tolerance θ: the run stops when fewer than θ·N vertices change in an
 	// iteration (NetworKit default 1e-5).
 	Tolerance float64
@@ -55,7 +61,7 @@ type Result struct {
 }
 
 // Detect runs parallel label propagation on g.
-func Detect(g *graph.CSR, opt Options) *Result {
+func Detect(g *graph.CSR, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	workers := opt.Workers
 	if workers <= 0 {
@@ -86,6 +92,7 @@ func Detect(g *graph.CSR, opt Options) *Result {
 	lr := engine.Loop(engine.LoopConfig{
 		MaxIterations: opt.MaxIterations,
 		Threshold:     theta,
+		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(iter int) engine.IterOutcome {
 		var updated int64
@@ -155,12 +162,15 @@ func Detect(g *graph.CSR, opt Options) *Result {
 		})
 		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: updated, DeltaN: updated}}
 	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
 	res.Iterations = lr.Iterations
 	res.Converged = lr.Converged
 	res.Trace = lr.Trace
 	res.Duration = lr.Duration
 	res.Labels = labels
-	return res
+	return res, nil
 }
 
 // scratch is the per-worker reusable state: the map accumulator (NetworKit's

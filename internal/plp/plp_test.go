@@ -9,7 +9,7 @@ import (
 
 func TestPlantedRecovery(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 400, Communities: 8, DegIn: 14, DegOut: 0.5, Seed: 3})
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if !res.Converged {
 		t.Errorf("did not converge in %d iterations", res.Iterations)
 	}
@@ -22,7 +22,7 @@ func TestSingleWorkerMatchesQuality(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 300, Communities: 6, DegIn: 12, DegOut: 0.5, Seed: 6})
 	opt := DefaultOptions()
 	opt.Workers = 1
-	res := Detect(g, opt)
+	res := must(Detect(g, opt))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.85 {
 		t.Errorf("workers=1: NMI = %.3f", nmi)
 	}
@@ -30,8 +30,8 @@ func TestSingleWorkerMatchesQuality(t *testing.T) {
 
 func TestToleranceStopsEarly(t *testing.T) {
 	g := gen.Web(gen.DefaultWeb(1500, 8, 11))
-	loose := Detect(g, Options{Tolerance: 0.5, MaxIterations: 100})
-	tight := Detect(g, Options{Tolerance: 1e-6, MaxIterations: 100})
+	loose := must(Detect(g, Options{Tolerance: 0.5, MaxIterations: 100}))
+	tight := must(Detect(g, Options{Tolerance: 1e-6, MaxIterations: 100}))
 	if loose.Iterations > tight.Iterations {
 		t.Errorf("loose tolerance ran longer (%d) than tight (%d)", loose.Iterations, tight.Iterations)
 	}
@@ -42,7 +42,7 @@ func TestToleranceStopsEarly(t *testing.T) {
 
 func TestMaxIterationsRespected(t *testing.T) {
 	g := gen.ErdosRenyi(400, 1600, 8)
-	res := Detect(g, Options{Tolerance: 0, MaxIterations: 3})
+	res := must(Detect(g, Options{Tolerance: 0, MaxIterations: 3}))
 	if res.Iterations > 3 {
 		t.Errorf("iterations = %d, want <= 3", res.Iterations)
 	}
@@ -50,7 +50,7 @@ func TestMaxIterationsRespected(t *testing.T) {
 
 func TestLabelsValid(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(9, 6, 5))
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	for i, c := range res.Labels {
 		if int(c) >= g.NumVertices() {
 			t.Fatalf("labels[%d] = %d out of range", i, c)
@@ -60,7 +60,7 @@ func TestLabelsValid(t *testing.T) {
 
 func TestEmptyGraph(t *testing.T) {
 	g := gen.MatchedPairs(0)
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	if len(res.Labels) != 0 || !res.Converged {
 		t.Errorf("empty graph: %+v", res)
 	}
@@ -68,10 +68,19 @@ func TestEmptyGraph(t *testing.T) {
 
 func TestIsolatedVerticesStable(t *testing.T) {
 	g := gen.MatchedPairs(10) // 5 pairs
-	res := Detect(g, DefaultOptions())
+	res := must(Detect(g, DefaultOptions()))
 	for v := 0; v+1 < 10; v += 2 {
 		if res.Labels[v] != res.Labels[v+1] {
 			t.Errorf("pair (%d,%d) not merged", v, v+1)
 		}
 	}
+}
+
+// must unwraps a detector result in tests where no error is expected
+// (no context or fault injection is configured on these runs).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -30,7 +30,7 @@ func TestIdentity(t *testing.T) {
 
 func TestApplyPreservesStructure(t *testing.T) {
 	g := gen.Web(gen.DefaultWeb(500, 6, 3))
-	labels := flpa.Detect(g, flpa.DefaultOptions()).Labels
+	labels := must(flpa.Detect(g, flpa.DefaultOptions())).Labels
 	p := ByCommunity(labels)
 	out, err := Apply(g, p)
 	if err != nil {
@@ -98,7 +98,7 @@ func TestMapLabelsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := flpa.Detect(rg, flpa.DefaultOptions())
+	res := must(flpa.Detect(rg, flpa.DefaultOptions()))
 	back := MapLabels(res.Labels, p)
 	// The partition on original numbering must match the planted structure
 	// as well as detection on the original graph does.
@@ -156,4 +156,13 @@ func TestGapCostEmpty(t *testing.T) {
 	if GapCost(g) != 0 {
 		t.Error("empty gap cost nonzero")
 	}
+}
+
+// must unwraps a detector result in tests where no error is expected
+// (no context or fault injection is configured on these runs).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

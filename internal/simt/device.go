@@ -22,6 +22,7 @@
 package simt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,6 +50,11 @@ type Device struct {
 	// events (see Profiler). A nil Prof costs one pointer test per launch
 	// and nothing per phase or lane.
 	Prof Profiler
+
+	// Faults, when non-nil, is consulted once per LaunchKernel call and may
+	// fail, stall, or livelock the launch (see fault.go). Launch and
+	// Launch1D bypass it — they cannot report an error.
+	Faults FaultInjector
 
 	memUsed int64 // atomic
 
@@ -174,8 +180,64 @@ func (t *Thread) Warp() int { return t.Lane / WarpSize }
 
 // Launch runs kernel k on a grid of gridDim blocks of blockDim threads and
 // blocks until every thread block has finished (cudaDeviceSynchronize
-// semantics). gridDim or blockDim of zero is a no-op.
+// semantics). gridDim or blockDim of zero is a no-op. Launch is the
+// fault-free entry point: it cannot be canceled and bypasses the Faults
+// injector; backends that must survive faults use LaunchKernel.
 func (d *Device) Launch(gridDim, blockDim int, k Kernel) {
+	d.launch(nil, gridDim, blockDim, k, stallSpec{sm: -1})
+}
+
+// LaunchKernel runs kernel k like Launch, but under ctx and the device's
+// fault injector. It returns ctx.Err() when the context is canceled or its
+// deadline expires — cancellation is observed at block granularity, so a
+// launch in flight stops within one block's worth of work per SM — and
+// ErrKernelLaunch / ErrLivelock when the injector fails the launch. The
+// kernel's memory effects are undefined after a non-nil error (blocks may
+// have partially executed); callers recover by rolling back to their last
+// checkpoint, as the nulpa simt backend does.
+func (d *Device) LaunchKernel(ctx context.Context, gridDim, blockDim int, k Kernel) error {
+	if gridDim <= 0 || blockDim <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d.Faults != nil {
+		// The launch ordinal is read before launch() increments it, so the
+		// injector sees a 0-based, strictly increasing sequence per device.
+		switch f := d.Faults.LaunchFault(KernelName(k), d.KernelsRun.Load()); f.Kind {
+		case FaultLaunchFail:
+			d.KernelsRun.Add(1)
+			return fmt.Errorf("%w: %s (%d×%d)", ErrKernelLaunch, KernelName(k), gridDim, blockDim)
+		case FaultLivelock:
+			d.KernelsRun.Add(1)
+			casRetries.Add(f.Spins)
+			return fmt.Errorf("%w: %s after %d CAS retries", ErrLivelock, KernelName(k), f.Spins)
+		case FaultStall:
+			// Stall one SM (chosen by launch ordinal) before it drains its
+			// blocks — preemption or throttling. The kernel still completes
+			// correctly; only the deadline above can turn this into an error.
+			stall := stallSpec{sm: int(d.KernelsRun.Load()) % d.NumSMs, d: f.Stall}
+			d.launch(ctx, gridDim, blockDim, k, stall)
+			return ctx.Err()
+		}
+	}
+	d.launch(ctx, gridDim, blockDim, k, stallSpec{sm: -1})
+	return ctx.Err()
+}
+
+// stallSpec tells launch to delay one SM; sm < 0 means no stall.
+type stallSpec struct {
+	sm int
+	d  time.Duration
+}
+
+// launch is the shared body of Launch and LaunchKernel. ctx may be nil (no
+// cancellation).
+func (d *Device) launch(ctx context.Context, gridDim, blockDim int, k Kernel, stall stallSpec) {
 	if gridDim <= 0 || blockDim <= 0 {
 		return
 	}
@@ -196,11 +258,40 @@ func (d *Device) Launch(gridDim, blockDim int, k Kernel) {
 		launch = prof.KernelBegin(KernelName(k), gridDim, blockDim, nSM)
 		kStart = time.Now()
 	}
+	// Cancellation is observed at block granularity: a watcher goroutine
+	// flips an atomic flag the SM loops poll between blocks, so the hot path
+	// costs one atomic load per block and nothing per phase or lane.
+	var canceled atomic.Bool
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if done != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-done:
+				canceled.Store(true)
+			case <-stopWatch:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for sm := 0; sm < nSM; sm++ {
 		wg.Add(1)
 		go func(sm int) {
 			defer wg.Done()
+			if sm == stall.sm && stall.d > 0 {
+				// Injected stall: this SM starts late. Cut short by ctx so a
+				// stalled kernel still honours cancellation promptly.
+				timer := time.NewTimer(stall.d)
+				select {
+				case <-timer.C:
+				case <-done:
+					timer.Stop()
+				}
+			}
 			var smStart time.Time
 			if prof != nil {
 				smStart = time.Now()
@@ -212,6 +303,9 @@ func (d *Device) Launch(gridDim, blockDim int, k Kernel) {
 			t := Thread{BlockDim: blockDim, GridDim: gridDim, SM: sm, Shared: shared}
 			var blocks, lanes, phasesRun int64
 			for b := sm; b < gridDim; b += d.NumSMs {
+				if canceled.Load() {
+					break
+				}
 				for i := range shared {
 					shared[i] = 0
 				}
@@ -249,6 +343,16 @@ func (d *Device) Launch1D(total, blockDim int, k Kernel) {
 	}
 	grid := (total + blockDim - 1) / blockDim
 	d.Launch(grid, blockDim, k)
+}
+
+// LaunchKernel1D is Launch1D under ctx and the fault injector; see
+// LaunchKernel.
+func (d *Device) LaunchKernel1D(ctx context.Context, total, blockDim int, k Kernel) error {
+	if total <= 0 {
+		return nil
+	}
+	grid := (total + blockDim - 1) / blockDim
+	return d.LaunchKernel(ctx, grid, blockDim, k)
 }
 
 // PhaseFunc adapts a function to a multi-phase Kernel.

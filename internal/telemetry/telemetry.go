@@ -39,6 +39,9 @@ type IterRecord struct {
 	// start of the iteration (populated only when profiling is enabled —
 	// counting it costs an O(V) scan).
 	Pruned int64 `json:"pruned,omitempty"`
+	// Retries is the number of times fault recovery re-executed this
+	// iteration after a rollback (simt backend with checkpointing).
+	Retries int64 `json:"retries,omitempty"`
 	// Duration is the iteration's wall time.
 	Duration time.Duration `json:"duration"`
 	// ThreadKernel, BlockKernel and CrossKernel are the wall times of the

@@ -1,6 +1,8 @@
 package variants
 
 import (
+	"context"
+
 	"sort"
 	"time"
 
@@ -11,6 +13,10 @@ import (
 
 // COPRAOptions configure Community Overlap PRopagation (Gregory 2010).
 type COPRAOptions struct {
+	// Context, when non-nil, cancels the run between iterations; the
+	// detector returns engine.ErrCanceled or engine.ErrDeadline.
+	Context context.Context
+
 	// MaxLabels is v, the per-vertex label capacity: a vertex can belong
 	// to at most v communities; labels with belonging coefficient below
 	// 1/v are discarded each round.
@@ -46,7 +52,7 @@ type COPRAResult struct {
 // coefficient vectors, discards labels below 1/v, renormalizes, and keeps at
 // most v labels. Terminates when the label universe stops shrinking and
 // per-vertex dominant labels are stable, or at MaxIterations.
-func COPRA(g *graph.CSR, opt COPRAOptions) *COPRAResult {
+func COPRA(g *graph.CSR, opt COPRAOptions) (*COPRAResult, error) {
 	n := g.NumVertices()
 	if opt.MaxLabels <= 0 {
 		opt.MaxLabels = 2
@@ -66,6 +72,7 @@ func COPRA(g *graph.CSR, opt COPRAOptions) *COPRAResult {
 	lr := engine.Loop(engine.LoopConfig{
 		MaxIterations: opt.MaxIterations,
 		Threshold:     0,
+		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(it int) engine.IterOutcome {
 		for v := 0; v < n; v++ {
@@ -123,6 +130,9 @@ func COPRA(g *graph.CSR, opt COPRAOptions) *COPRAResult {
 			Stop: changed == 0 && it > 0,
 		}
 	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
 	res.Iterations = lr.Iterations
 	res.Converged = lr.Converged
 	res.Trace = lr.Trace
@@ -133,7 +143,7 @@ func COPRA(g *graph.CSR, opt COPRAOptions) *COPRAResult {
 	res.Labels = labels
 	res.Belonging = cur
 	res.Duration = lr.Duration
-	return res
+	return res, nil
 }
 
 // filterBelonging drops labels below the threshold, keeps at most maxLabels

@@ -34,6 +34,9 @@ func (slpaDetector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, er
 		}
 		sopt = o
 	}
+	if opt.Context != nil {
+		sopt.Context = opt.Context
+	}
 	if opt.MaxIterations > 0 {
 		sopt.Iterations = opt.MaxIterations
 	}
@@ -43,7 +46,10 @@ func (slpaDetector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, er
 	if opt.Profiler != nil {
 		sopt.Profiler = opt.Profiler
 	}
-	sres := SLPA(g, sopt)
+	sres, err := SLPA(g, sopt)
+	if err != nil {
+		return nil, err
+	}
 	res := engine.NewResult(sres.Labels)
 	res.Iterations = sres.Iterations
 	res.Trace = sres.Trace
@@ -68,13 +74,19 @@ func (copraDetector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, e
 		}
 		copt = o
 	}
+	if opt.Context != nil {
+		copt.Context = opt.Context
+	}
 	if opt.MaxIterations > 0 {
 		copt.MaxIterations = opt.MaxIterations
 	}
 	if opt.Profiler != nil {
 		copt.Profiler = opt.Profiler
 	}
-	cres := COPRA(g, copt)
+	cres, err := COPRA(g, copt)
+	if err != nil {
+		return nil, err
+	}
 	res := engine.NewResult(cres.Labels)
 	res.Iterations = cres.Iterations
 	res.Converged = cres.Converged
@@ -100,13 +112,19 @@ func (labelRankDetector) Detect(g *graph.CSR, opt engine.Options) (*engine.Resul
 		}
 		lopt = o
 	}
+	if opt.Context != nil {
+		lopt.Context = opt.Context
+	}
 	if opt.MaxIterations > 0 {
 		lopt.MaxIterations = opt.MaxIterations
 	}
 	if opt.Profiler != nil {
 		lopt.Profiler = opt.Profiler
 	}
-	lres := LabelRank(g, lopt)
+	lres, err := LabelRank(g, lopt)
+	if err != nil {
+		return nil, err
+	}
 	res := engine.NewResult(lres.Labels)
 	res.Iterations = lres.Iterations
 	res.Converged = lres.Converged

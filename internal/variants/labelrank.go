@@ -1,6 +1,8 @@
 package variants
 
 import (
+	"context"
+
 	"math"
 	"slices"
 	"time"
@@ -14,6 +16,10 @@ import (
 // deterministic stabilized label propagation over per-vertex label
 // distributions.
 type LabelRankOptions struct {
+	// Context, when non-nil, cancels the run between iterations; the
+	// detector returns engine.ErrCanceled or engine.ErrDeadline.
+	Context context.Context
+
 	// Inflation exponent: each round, distributions are raised to this
 	// power and renormalized, sharpening them (typical 1.5–2).
 	Inflation float64
@@ -53,7 +59,7 @@ type LabelRankResult struct {
 // rule — skip vertices whose dominant label already agrees with at least q
 // of their neighbours — is LabelRank's stabilization trick and its
 // termination mechanism.
-func LabelRank(g *graph.CSR, opt LabelRankOptions) *LabelRankResult {
+func LabelRank(g *graph.CSR, opt LabelRankOptions) (*LabelRankResult, error) {
 	n := g.NumVertices()
 	if opt.Inflation <= 0 {
 		opt.Inflation = 2
@@ -85,6 +91,7 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) *LabelRankResult {
 	lr := engine.Loop(engine.LoopConfig{
 		MaxIterations: opt.MaxIterations,
 		Threshold:     1,
+		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(it int) engine.IterOutcome {
 		var updated int64
@@ -139,12 +146,15 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) *LabelRankResult {
 		}
 		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: updated, DeltaN: updated}}
 	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
 	res.Iterations = lr.Iterations
 	res.Converged = lr.Converged
 	res.Trace = lr.Trace
 	res.Labels = dominant
 	res.Duration = lr.Duration
-	return res
+	return res, nil
 }
 
 // norm renormalizes a distribution in place. The sum runs in sorted key

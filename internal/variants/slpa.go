@@ -10,6 +10,8 @@
 package variants
 
 import (
+	"context"
+
 	"math/rand"
 	"slices"
 	"time"
@@ -21,6 +23,10 @@ import (
 
 // SLPAOptions configure Speaker-Listener Label Propagation (Xie et al.).
 type SLPAOptions struct {
+	// Context, when non-nil, cancels the run between iterations; the
+	// detector returns engine.ErrCanceled or engine.ErrDeadline.
+	Context context.Context
+
 	// Iterations is the number of speaking rounds T (typically 20–100).
 	Iterations int
 	// Seed drives speaker label choices.
@@ -52,7 +58,7 @@ type SLPAResult struct {
 // one label from each neighbour — the neighbour "speaks" a label drawn from
 // its memory with probability proportional to the label's frequency — and
 // stores the most popular label heard into its own memory.
-func SLPA(g *graph.CSR, opt SLPAOptions) *SLPAResult {
+func SLPA(g *graph.CSR, opt SLPAOptions) (*SLPAResult, error) {
 	n := g.NumVertices()
 	if opt.Iterations <= 0 {
 		opt.Iterations = 30
@@ -73,6 +79,7 @@ func SLPA(g *graph.CSR, opt SLPAOptions) *SLPAResult {
 	lr := engine.Loop(engine.LoopConfig{
 		MaxIterations: opt.Iterations,
 		Threshold:     0,
+		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(it int) engine.IterOutcome {
 		var stored int64
@@ -120,6 +127,9 @@ func SLPA(g *graph.CSR, opt SLPAOptions) *SLPAResult {
 		}
 		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: stored, DeltaN: stored}}
 	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
 	res.Iterations = lr.Iterations
 	res.Trace = lr.Trace
 	labels := make([]uint32, n)
@@ -141,7 +151,7 @@ func SLPA(g *graph.CSR, opt SLPAOptions) *SLPAResult {
 	res.Labels = labels
 	res.Memory = memory
 	res.Duration = time.Since(start)
-	return res
+	return res, nil
 }
 
 // speak draws a label from the memory with probability proportional to its

@@ -10,7 +10,7 @@ import (
 
 func TestSLPAPlantedRecovery(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 300, Communities: 6, DegIn: 14, DegOut: 0.5, Seed: 3})
-	res := SLPA(g, DefaultSLPAOptions())
+	res := must(SLPA(g, DefaultSLPAOptions()))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.8 {
 		t.Errorf("SLPA NMI = %.3f", nmi)
 	}
@@ -22,7 +22,7 @@ func TestSLPAPlantedRecovery(t *testing.T) {
 func TestSLPAMemoryGrows(t *testing.T) {
 	g := gen.Cycle(12)
 	opt := SLPAOptions{Iterations: 10, Seed: 2}
-	res := SLPA(g, opt)
+	res := must(SLPA(g, opt))
 	for v, mem := range res.Memory {
 		total := 0
 		for _, c := range mem {
@@ -37,7 +37,7 @@ func TestSLPAMemoryGrows(t *testing.T) {
 
 func TestSLPAOverlapThreshold(t *testing.T) {
 	g, _ := gen.Planted(gen.PlantedConfig{N: 100, Communities: 2, DegIn: 10, DegOut: 1, Seed: 5})
-	res := SLPA(g, DefaultSLPAOptions())
+	res := must(SLPA(g, DefaultSLPAOptions()))
 	over := res.OverlapThreshold(0.2)
 	if len(over) != 100 {
 		t.Fatalf("overlap sets = %d", len(over))
@@ -68,14 +68,14 @@ func TestSLPAOverlapThreshold(t *testing.T) {
 
 func TestSLPADeterministicForSeed(t *testing.T) {
 	g, _ := gen.Planted(gen.PlantedConfig{N: 120, Communities: 3, DegIn: 8, DegOut: 1, Seed: 7})
-	a := SLPA(g, SLPAOptions{Iterations: 15, Seed: 9})
-	b := SLPA(g, SLPAOptions{Iterations: 15, Seed: 9})
+	a := must(SLPA(g, SLPAOptions{Iterations: 15, Seed: 9}))
+	b := must(SLPA(g, SLPAOptions{Iterations: 15, Seed: 9}))
 	for i := range a.Labels {
 		if a.Labels[i] != b.Labels[i] {
 			t.Fatal("same seed produced different labels")
 		}
 	}
-	c := SLPA(g, SLPAOptions{Iterations: 15, Seed: 10})
+	c := must(SLPA(g, SLPAOptions{Iterations: 15, Seed: 10}))
 	same := true
 	for i := range a.Labels {
 		if a.Labels[i] != c.Labels[i] {
@@ -90,7 +90,7 @@ func TestSLPADeterministicForSeed(t *testing.T) {
 
 func TestCOPRAPlantedRecovery(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 300, Communities: 6, DegIn: 14, DegOut: 0.5, Seed: 3})
-	res := COPRA(g, DefaultCOPRAOptions())
+	res := must(COPRA(g, DefaultCOPRAOptions()))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.8 {
 		t.Errorf("COPRA NMI = %.3f", nmi)
 	}
@@ -98,7 +98,7 @@ func TestCOPRAPlantedRecovery(t *testing.T) {
 
 func TestCOPRABelongingNormalized(t *testing.T) {
 	g, _ := gen.Planted(gen.PlantedConfig{N: 150, Communities: 3, DegIn: 10, DegOut: 1, Seed: 5})
-	res := COPRA(g, COPRAOptions{MaxLabels: 3, MaxIterations: 10})
+	res := must(COPRA(g, COPRAOptions{MaxLabels: 3, MaxIterations: 10}))
 	for v, b := range res.Belonging {
 		if len(b) == 0 || len(b) > 3 {
 			t.Fatalf("vertex %d has %d labels, want 1..3", v, len(b))
@@ -115,7 +115,7 @@ func TestCOPRABelongingNormalized(t *testing.T) {
 
 func TestCOPRAIsolatedVertex(t *testing.T) {
 	g := gen.MatchedPairs(6) // then vertex indices 0..5 all paired
-	res := COPRA(g, DefaultCOPRAOptions())
+	res := must(COPRA(g, DefaultCOPRAOptions()))
 	for v := 0; v+1 < 6; v += 2 {
 		if res.Labels[v] != res.Labels[v+1] {
 			t.Errorf("pair (%d,%d) not merged", v, v+1)
@@ -149,7 +149,7 @@ func TestFilterBelonging(t *testing.T) {
 
 func TestLabelRankPlantedRecovery(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 300, Communities: 6, DegIn: 14, DegOut: 0.5, Seed: 3})
-	res := LabelRank(g, DefaultLabelRankOptions())
+	res := must(LabelRank(g, DefaultLabelRankOptions()))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.8 {
 		t.Errorf("LabelRank NMI = %.3f", nmi)
 	}
@@ -157,8 +157,8 @@ func TestLabelRankPlantedRecovery(t *testing.T) {
 
 func TestLabelRankDeterministic(t *testing.T) {
 	g, _ := gen.Planted(gen.PlantedConfig{N: 200, Communities: 4, DegIn: 10, DegOut: 1, Seed: 8})
-	a := LabelRank(g, DefaultLabelRankOptions())
-	b := LabelRank(g, DefaultLabelRankOptions())
+	a := must(LabelRank(g, DefaultLabelRankOptions()))
+	b := must(LabelRank(g, DefaultLabelRankOptions()))
 	for i := range a.Labels {
 		if a.Labels[i] != b.Labels[i] {
 			t.Fatal("LabelRank not deterministic")
@@ -168,7 +168,7 @@ func TestLabelRankDeterministic(t *testing.T) {
 
 func TestLabelRankConvergesOnCliques(t *testing.T) {
 	g, _ := gen.Planted(gen.PlantedConfig{N: 60, Communities: 2, DegIn: 20, DegOut: 0, Seed: 2})
-	res := LabelRank(g, DefaultLabelRankOptions())
+	res := must(LabelRank(g, DefaultLabelRankOptions()))
 	if !res.Converged {
 		t.Errorf("did not converge in %d iterations", res.Iterations)
 	}
@@ -189,9 +189,9 @@ func TestDominantLabel(t *testing.T) {
 func TestVariantsOnNoisyGraphAllReasonable(t *testing.T) {
 	g, truth := gen.Planted(gen.PlantedConfig{N: 400, Communities: 8, DegIn: 12, DegOut: 2, Seed: 11})
 	for name, labels := range map[string][]uint32{
-		"slpa":      SLPA(g, DefaultSLPAOptions()).Labels,
-		"copra":     COPRA(g, DefaultCOPRAOptions()).Labels,
-		"labelrank": LabelRank(g, DefaultLabelRankOptions()).Labels,
+		"slpa":      must(SLPA(g, DefaultSLPAOptions())).Labels,
+		"copra":     must(COPRA(g, DefaultCOPRAOptions())).Labels,
+		"labelrank": must(LabelRank(g, DefaultLabelRankOptions())).Labels,
 	} {
 		if nmi := quality.NMI(labels, truth); nmi < 0.5 {
 			t.Errorf("%s: NMI = %.3f on noisy planted graph", name, nmi)
@@ -216,7 +216,7 @@ func TestLabelRankAggressiveCutoff(t *testing.T) {
 	// A cutoff above every probability would empty the distribution; the
 	// dominant-label fallback must keep the algorithm well defined.
 	g := gen.Cycle(30)
-	res := LabelRank(g, LabelRankOptions{Inflation: 2, Cutoff: 0.95, ConditionalQ: 0.7, MaxIterations: 10})
+	res := must(LabelRank(g, LabelRankOptions{Inflation: 2, Cutoff: 0.95, ConditionalQ: 0.7, MaxIterations: 10}))
 	if len(res.Labels) != 30 {
 		t.Fatalf("labels = %d", len(res.Labels))
 	}
@@ -230,8 +230,17 @@ func TestLabelRankAggressiveCutoff(t *testing.T) {
 func TestCOPRAMaxLabelsOne(t *testing.T) {
 	// v = 1 degenerates COPRA to near-plain LPA; it must stay stable.
 	g, truth := gen.Planted(gen.PlantedConfig{N: 200, Communities: 4, DegIn: 12, DegOut: 0.5, Seed: 9})
-	res := COPRA(g, COPRAOptions{MaxLabels: 1, MaxIterations: 20})
+	res := must(COPRA(g, COPRAOptions{MaxLabels: 1, MaxIterations: 20}))
 	if nmi := quality.NMI(res.Labels, truth); nmi < 0.7 {
 		t.Errorf("COPRA v=1 NMI = %.3f", nmi)
 	}
+}
+
+// must unwraps a detector result in tests where no error is expected
+// (no context or fault injection is configured on these runs).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
