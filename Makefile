@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-full bench chaos
+.PHONY: check build vet lint test test-full bench chaos trace-smoke
 
-check: vet lint test chaos
+check: vet lint test chaos trace-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ test-full:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Cancel|Deadline' \
 		./internal/engine/ ./internal/nulpa/ ./internal/simt/ ./internal/faults/ ./internal/httpapi/
+
+# Trace smoke: run a small detection with -trace-out and validate the JSONL
+# span export with cmd/tracecheck (schema + run→detect→iteration→kernel
+# connectivity), plus both -log-format modes.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/bench/

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +41,7 @@ import (
 	"nulpa/internal/quality"
 	"nulpa/internal/simt"
 	"nulpa/internal/telemetry"
+	"nulpa/internal/trace"
 )
 
 func main() {
@@ -59,13 +61,25 @@ func main() {
 		sms       = flag.Int("sms", 0, "nulpa simt backend: simulated SMs (0 = host parallelism)")
 		membudget = flag.Int64("membudget", 0, "nulpa simt backend: device memory budget in bytes (0 = unlimited)")
 		writeTo   = flag.String("write-labels", "", "write 'vertex label' lines to this file")
-		trace     = flag.Bool("trace", false, "print per-iteration telemetry as a table")
+		iterTrace = flag.Bool("trace", false, "print per-iteration telemetry as a table")
 		profileTo = flag.String("profile", "", "write a Chrome trace-event JSON (load in chrome://tracing) to this file")
+		traceOut  = flag.String("trace-out", "", "record a span trace of the run and write it as JSONL to this file")
+		logFormat = flag.String("log-format", "text", "log line format on stderr: text or json")
 		serveAddr = flag.String("serve", "", "run the monitoring HTTP server on this address (e.g. :8080) instead of a one-shot detection")
 		faultSpec = flag.String("faults", "", "nulpa simt backend: inject faults, e.g. 'kernel=0.01,bitflip=0.01,seed=7' (chaos testing)")
 		deadline  = flag.Duration("deadline", 0, "abort the one-shot detection after this duration (0 = no deadline)")
 	)
 	flag.Parse()
+
+	switch *logFormat {
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	case "text":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	default:
+		fmt.Fprintf(os.Stderr, "nulpa: bad -log-format %q (text or json)\n", *logFormat)
+		os.Exit(2)
+	}
 
 	if *serveAddr != "" {
 		serve(*serveAddr, *algo, *backend, *graphPath, *genName, *n, *deg, *seed)
@@ -93,18 +107,29 @@ func main() {
 	// -trace and -profile render the same telemetry records, so they can
 	// never disagree: the recorder is attached whenever either is on.
 	var rec *telemetry.Recorder
-	if *trace || *profileTo != "" {
+	if *iterTrace || *profileTo != "" {
 		rec = telemetry.NewRecorder()
 	}
 
 	eopt := engine.DefaultOptions()
 	eopt.Seed = *seed
 	eopt.Profiler = rec
+	runCtx := context.Background()
 	if *deadline > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+		ctx, cancel := context.WithTimeout(runCtx, *deadline)
 		defer cancel()
-		eopt.Context = ctx
+		runCtx = ctx
 	}
+	// -trace-out turns on span tracing for the one-shot run: a "run" root
+	// span whose children (detect → iteration → kernel) land in the JSONL
+	// export, the same schema /debug/trace serves.
+	var runSpan *trace.Span
+	if *traceOut != "" {
+		trace.Default().SetEnabled(true)
+		runCtx, runSpan = trace.Default().Root(runCtx, "run")
+		runSpan.SetString("algo", name)
+	}
+	eopt.Context = runCtx
 	if *faultSpec != "" && !(name == "nulpa" && *backend != "direct") {
 		fmt.Fprintf(os.Stderr, "nulpa: -faults applies only to the nulpa simt backend\n")
 		os.Exit(2)
@@ -157,6 +182,23 @@ func main() {
 	fmt.Printf("graph: %s\n", st)
 
 	res, err := det.Detect(g, eopt)
+	if runSpan != nil {
+		if err != nil {
+			runSpan.SetString("error", err.Error())
+		}
+		runSpan.End()
+		slog.Info("run finished", "algo", name,
+			"trace", runSpan.TraceID().String(), "error", err != nil)
+	}
+	// The trace is written even for a failed run — a deadline abort is
+	// exactly the run one wants to inspect span by span.
+	if *traceOut != "" {
+		if werr := writeTraceOut(*traceOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "nulpa: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s (one span per line)\n", *traceOut)
+	}
 	if err != nil {
 		if errors.Is(err, engine.ErrDeadline) {
 			fmt.Fprintf(os.Stderr, "nulpa: deadline of %v exceeded\n", *deadline)
@@ -181,7 +223,7 @@ func main() {
 	fmt.Printf("iterations: %d  converged: %v\n", res.Iterations, res.Converged)
 	fmt.Printf("result: %s\n", sum)
 
-	if *trace {
+	if *iterTrace {
 		fmt.Print(telemetry.FormatIters(res.Trace))
 		if s := rec.Summary(); s != "" {
 			fmt.Print(s)
@@ -220,6 +262,19 @@ func main() {
 	}
 }
 
+// writeTraceOut dumps the default tracer's resident spans as JSONL.
+func writeTraceOut(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Default().WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // loadGraph delegates to the shared GraphSpec so the CLI and the HTTP job
 // plane accept exactly the same inputs.
 func loadGraph(path, genName string, n, deg int, seed int64) (*graph.CSR, error) {
@@ -250,7 +305,8 @@ func serve(addr, algo, backend, graphPath, genName string, n, deg int, seed int6
 		}
 		fmt.Printf("job %d: %s on %s\n", st.ID, st.Algo, st.Graph)
 	}
-	fmt.Printf("serving on %s (GET /metrics, /healthz, /jobs, /debug/vars, /debug/pprof)\n", addr)
+	fmt.Printf("serving on %s (GET /metrics, /healthz, /jobs, /debug/trace, /debug/vars, /debug/pprof)\n", addr)
+	slog.Info("server listening", "addr", addr)
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting connections,
 	// cancel in-flight jobs, and give handlers a bounded grace period.
@@ -266,6 +322,7 @@ func serve(addr, algo, backend, graphPath, genName string, n, deg int, seed int6
 	case <-ctx.Done():
 	}
 	fmt.Println("shutting down")
+	slog.Info("server shutting down")
 	srv.CancelAll()
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

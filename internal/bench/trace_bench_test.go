@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"nulpa/internal/simt"
+	"nulpa/internal/trace"
+)
+
+// TestTraceHotPathZeroAllocWhenDisabled is the tracing guardrail, the twin
+// of the telemetry one: with the tracer disabled (or the context span-free),
+// every instrumentation site must cost zero allocations — Root returns nil,
+// nil-span methods are no-ops, and Child on a span-free context is one
+// context lookup. A regression here means span plumbing leaked onto the
+// untraced hot path.
+func TestTraceHotPathZeroAllocWhenDisabled(t *testing.T) {
+	tr := trace.New(64)
+	ctx := context.Background()
+
+	if a := testing.AllocsPerRun(100, func() {
+		_, span := tr.Root(ctx, "run")
+		if span != nil {
+			t.Fatal("disabled tracer returned a span")
+		}
+	}); a != 0 {
+		t.Errorf("disabled Root allocates %v/op, want 0", a)
+	}
+
+	if a := testing.AllocsPerRun(100, func() {
+		cctx, span := trace.Child(ctx, "iteration")
+		span.SetInt("iter", 1)
+		span.Event("retry", nil)
+		span.End()
+		_ = cctx
+	}); a != 0 {
+		t.Errorf("span-free Child + nil-span ops allocate %v/op, want 0", a)
+	}
+
+	if a := testing.AllocsPerRun(100, func() {
+		if trace.IDFromContext(ctx) != "" {
+			t.Fatal("span-free context produced a trace id")
+		}
+	}); a != 0 {
+		t.Errorf("IDFromContext on a span-free context allocates %v/op, want 0", a)
+	}
+}
+
+// TestLaunchKernelUntracedNoAllocRegression pins the kernel-launch site
+// specifically: LaunchKernel under a span-free context must allocate exactly
+// as much as before tracing existed (the launch fixtures — goroutines,
+// waitgroup — are allowed; span bookkeeping is not). The traced launch is
+// allowed to allocate, proving the guard measures the instrumentation.
+func TestLaunchKernelUntracedNoAllocRegression(t *testing.T) {
+	const grid, blockDim = 4, 64
+	dev := simt.NewDevice(1)
+	sink := make([]uint32, grid*blockDim)
+	k := &busyKernel{phases: 1, sink: sink}
+	ctx := context.Background()
+
+	plain := testing.AllocsPerRun(20, func() { dev.Launch(grid, blockDim, k) })
+	untraced := testing.AllocsPerRun(20, func() {
+		if err := dev.LaunchKernel(ctx, grid, blockDim, k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// LaunchKernel adds a cancellation watcher (one goroutine + one channel)
+	// over Launch; allow that fixed cost but nothing proportional to spans.
+	if untraced > plain+4 {
+		t.Errorf("untraced LaunchKernel allocates %v/op vs %v for Launch — span plumbing on the hot path?", untraced, plain)
+	}
+
+	tr := trace.New(64)
+	tr.SetEnabled(true)
+	tctx, root := tr.Root(ctx, "run")
+	traced := testing.AllocsPerRun(20, func() {
+		if err := dev.LaunchKernel(tctx, grid, blockDim, k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	root.End()
+	if traced <= untraced {
+		t.Logf("note: traced launch allocated %v (untraced: %v)", traced, untraced)
+	}
+}

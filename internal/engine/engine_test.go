@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -69,7 +70,7 @@ func TestLoopConvergesOnThreshold(t *testing.T) {
 	// ΔN decays 8, 4, 2, 1, 0, ...; threshold 2 stops after the ΔN=1
 	// iteration (strictly below).
 	deltas := []int64{8, 4, 2, 1, 0}
-	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 2}, func(iter int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 2}, func(_ context.Context, iter int) IterOutcome {
 		d := deltas[iter]
 		return IterOutcome{Record: telemetry.IterRecord{Moves: d, DeltaN: d}}
 	})
@@ -90,7 +91,7 @@ func TestLoopConvergesOnThreshold(t *testing.T) {
 }
 
 func TestLoopExhaustsMaxIterations(t *testing.T) {
-	lr := Loop(LoopConfig{MaxIterations: 3, Threshold: 1}, func(int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 3, Threshold: 1}, func(context.Context, int) IterOutcome {
 		return IterOutcome{Record: telemetry.IterRecord{DeltaN: 5}}
 	})
 	if lr.Converged || lr.Iterations != 3 {
@@ -100,7 +101,7 @@ func TestLoopExhaustsMaxIterations(t *testing.T) {
 
 func TestLoopForceContinue(t *testing.T) {
 	// Every even iteration is "pick-less": ΔN=0 there must not converge.
-	lr := Loop(LoopConfig{MaxIterations: 6, Threshold: 1}, func(iter int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 6, Threshold: 1}, func(_ context.Context, iter int) IterOutcome {
 		if iter%2 == 0 {
 			return IterOutcome{Record: telemetry.IterRecord{DeltaN: 0}, ForceContinue: true}
 		}
@@ -112,7 +113,7 @@ func TestLoopForceContinue(t *testing.T) {
 }
 
 func TestLoopStop(t *testing.T) {
-	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 0}, func(iter int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 0}, func(_ context.Context, iter int) IterOutcome {
 		return IterOutcome{Record: telemetry.IterRecord{DeltaN: 9}, Stop: iter == 2}
 	})
 	if !lr.Converged || lr.Iterations != 3 {
@@ -122,7 +123,7 @@ func TestLoopStop(t *testing.T) {
 
 func TestLoopKeepsDetectorDuration(t *testing.T) {
 	want := 42 * time.Second
-	lr := Loop(LoopConfig{MaxIterations: 1, Threshold: 1}, func(int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 1, Threshold: 1}, func(context.Context, int) IterOutcome {
 		return IterOutcome{Record: telemetry.IterRecord{Duration: want}}
 	})
 	if lr.Trace[0].Duration != want {
@@ -132,7 +133,7 @@ func TestLoopKeepsDetectorDuration(t *testing.T) {
 
 func TestLoopFeedsProfiler(t *testing.T) {
 	rec := telemetry.NewRecorder()
-	Loop(LoopConfig{MaxIterations: 4, Threshold: 0, Profiler: rec}, func(int) IterOutcome {
+	Loop(LoopConfig{MaxIterations: 4, Threshold: 0, Profiler: rec}, func(context.Context, int) IterOutcome {
 		return IterOutcome{Record: telemetry.IterRecord{DeltaN: 1}}
 	})
 	if got := len(rec.IterRecords()); got != 4 {

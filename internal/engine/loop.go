@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nulpa/internal/telemetry"
+	"nulpa/internal/trace"
 )
 
 // LoopConfig parameterizes the shared convergence loop.
@@ -21,7 +22,8 @@ type LoopConfig struct {
 	// Ctx, when non-nil, is checked before every iteration; a canceled or
 	// expired context ends the loop with ErrCanceled/ErrDeadline in
 	// LoopResult.Err. Cancellation is therefore observed within one
-	// iteration's worth of wall time.
+	// iteration's worth of wall time. It also carries the run's trace span,
+	// under which each iteration opens a child span.
 	Ctx context.Context
 	// Profiler, when non-nil, receives each iteration's record as it
 	// completes.
@@ -63,8 +65,17 @@ type LoopResult struct {
 // implementation previously hand-rolled: per-iteration timing, telemetry
 // emission (trace plus optional live profiler), and the ΔN-below-threshold
 // stopping rule. body performs one full iteration and reports its outcome.
-func Loop(cfg LoopConfig, body func(iter int) IterOutcome) LoopResult {
+//
+// body receives a context derived from cfg.Ctx that carries the iteration's
+// trace span, so device work launched from it (simt kernel launches) nests
+// under the iteration in the exported trace tree. Detectors that do no
+// context-aware work may ignore it.
+func Loop(cfg LoopConfig, body func(ctx context.Context, iter int) IterOutcome) LoopResult {
 	var lr LoopResult
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		if cfg.Ctx != nil {
@@ -74,12 +85,31 @@ func Loop(cfg LoopConfig, body func(iter int) IterOutcome) LoopResult {
 				break
 			}
 		}
+		ictx, ispan := trace.Child(ctx, "iteration")
 		iterStart := time.Now()
-		out := body(iter)
+		out := body(ictx, iter)
 		rec := out.Record
 		rec.Iter = iter
 		if rec.Duration == 0 {
 			rec.Duration = time.Since(iterStart)
+		}
+		if ispan != nil {
+			ispan.SetInt("iter", int64(iter))
+			ispan.SetInt("deltaN", rec.DeltaN)
+			ispan.SetInt("moves", rec.Moves)
+			if rec.Reverts > 0 {
+				ispan.SetInt("reverts", rec.Reverts)
+			}
+			if rec.PickLess {
+				ispan.SetBool("pickLess", true)
+			}
+			if rec.CrossCheck {
+				ispan.SetBool("crossCheck", true)
+			}
+			if out.Err != nil {
+				ispan.SetString("error", out.Err.Error())
+			}
+			ispan.End()
 		}
 		if cfg.Profiler != nil {
 			cfg.Profiler.RecordIteration(rec)

@@ -17,7 +17,7 @@ func TestLoopDeadlineBeforeFirstIteration(t *testing.T) {
 	defer cancel()
 	time.Sleep(time.Millisecond)
 	ran := 0
-	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 1, Ctx: ctx}, func(iter int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 1, Ctx: ctx}, func(_ context.Context, iter int) IterOutcome {
 		ran++
 		return IterOutcome{}
 	})
@@ -38,7 +38,7 @@ func TestLoopCancelMidIteration(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	ran := 0
-	lr := Loop(LoopConfig{MaxIterations: 100, Threshold: 0, Ctx: ctx}, func(iter int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 100, Threshold: 0, Ctx: ctx}, func(_ context.Context, iter int) IterOutcome {
 		ran++
 		if iter == 2 {
 			cancel() // arrives mid-iteration; observed at the next boundary
@@ -64,7 +64,7 @@ func TestLoopCancelMidIteration(t *testing.T) {
 // MaxIterations even though every iteration reports ΔN 0.
 func TestLoopZeroThresholdWithForceContinue(t *testing.T) {
 	ran := 0
-	lr := Loop(LoopConfig{MaxIterations: 7, Threshold: 0}, func(iter int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 7, Threshold: 0}, func(_ context.Context, iter int) IterOutcome {
 		ran++
 		return IterOutcome{ForceContinue: iter%2 == 0} // alternate, to hit both paths
 	})
@@ -84,7 +84,7 @@ func TestLoopZeroThresholdWithForceContinue(t *testing.T) {
 func TestLoopIterErrAborts(t *testing.T) {
 	boom := errors.New("kernel faulted")
 	ran := 0
-	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 1}, func(iter int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 1}, func(_ context.Context, iter int) IterOutcome {
 		ran++
 		if iter == 1 {
 			return IterOutcome{Err: boom, Record: telemetry.IterRecord{Moves: 5}}
@@ -108,7 +108,7 @@ func TestLoopIterErrAborts(t *testing.T) {
 // TestLoopNilContext: the zero LoopConfig context means "no cancellation" —
 // identical behaviour to before the plumbing existed.
 func TestLoopNilContext(t *testing.T) {
-	lr := Loop(LoopConfig{MaxIterations: 3, Threshold: 1}, func(iter int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 3, Threshold: 1}, func(_ context.Context, iter int) IterOutcome {
 		return IterOutcome{Record: telemetry.IterRecord{DeltaN: 0}}
 	})
 	if lr.Err != nil || !lr.Converged || lr.Iterations != 1 {

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
+	"log/slog"
 	"time"
 
 	"nulpa/internal/graph"
 	"nulpa/internal/metrics"
+	"nulpa/internal/trace"
 )
 
 // Engine-level metrics. Loop feeds the iteration-grained series; the
@@ -38,9 +41,9 @@ var (
 		"Detect calls ended by cancellation or deadline, per detector.", "detector")
 )
 
-// instrumented decorates a Detector with the run-grained metric families. It
-// is installed by Register, so Get/MustGet always hand out the accounted
-// version.
+// instrumented decorates a Detector with the run-grained metric families and
+// the run-grained trace span. It is installed by Register, so Get/MustGet
+// always hand out the accounted version.
 type instrumented struct {
 	d Detector
 }
@@ -49,21 +52,46 @@ func (w instrumented) Name() string { return w.d.Name() }
 
 func (w instrumented) Detect(g *graph.CSR, opt Options) (*Result, error) {
 	name := w.d.Name()
+	// When the caller's context carries a trace (an httpapi job's root span,
+	// cmd/nulpa's run span), the whole Detect call becomes a "detect" child
+	// span, and the detector sees the span-carrying context so Loop's
+	// iteration spans nest under it.
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dctx, span := trace.Child(ctx, "detect")
+	if span != nil {
+		span.SetString("detector", name)
+		span.SetInt("vertices", int64(g.NumVertices()))
+		span.SetInt("arcs", g.NumArcs())
+		opt.Context = dctx
+	}
 	mActiveRuns.Add(1)
 	start := time.Now()
 	res, err := w.d.Detect(g, opt)
 	mActiveRuns.Add(-1)
 	mRunSeconds.With(name).Observe(time.Since(start).Seconds())
 	if err != nil {
+		span.SetString("error", err.Error())
+		span.End()
 		// Interruptions are the caller's doing, not detector failures; they
 		// get their own family so error-rate alerts stay meaningful.
 		if IsInterrupt(err) {
 			mRunsCanceled.With(name).Inc()
 		} else {
 			mRunErrors.With(name).Inc()
+			slog.Warn("detector run failed",
+				"detector", name, "trace", trace.IDFromContext(ctx), "error", err)
 		}
 		return res, err
 	}
+	if res != nil {
+		span.SetInt("iterations", int64(res.Iterations))
+		span.SetInt("communities", int64(res.Communities))
+		span.SetBool("converged", res.Converged)
+	}
+	span.End()
 	mRuns.With(name).Inc()
 	if res != nil && res.Converged {
 		mConverged.With(name).Inc()

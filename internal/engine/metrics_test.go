@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -13,7 +14,7 @@ func TestLoopFeedsMetrics(t *testing.T) {
 	movesBefore := mMoves.Value()
 	secondsBefore := mIterSeconds.Count()
 
-	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 3}, func(iter int) IterOutcome {
+	lr := Loop(LoopConfig{MaxIterations: 10, Threshold: 3}, func(_ context.Context, iter int) IterOutcome {
 		return IterOutcome{Record: telemetry.IterRecord{
 			DeltaN:   int64(5 - iter), // 5,4,3, then 2 < 3 stops the loop
 			Duration: time.Microsecond,

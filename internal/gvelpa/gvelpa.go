@@ -132,7 +132,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		Threshold:     opt.Tolerance * float64(n),
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
-	}, func(iter int) engine.IterOutcome {
+	}, func(_ context.Context, iter int) engine.IterOutcome {
 		var changed int64
 		var cursor int64
 		var wg sync.WaitGroup

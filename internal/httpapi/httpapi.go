@@ -11,6 +11,9 @@
 //	POST /jobs         submit a JobSpec; returns the job id immediately
 //	GET  /jobs         all job statuses
 //	GET  /jobs/{id}    one job, with live iteration progress while running
+//	GET  /debug/trace  recent traces (one summary per trace in the ring)
+//	GET  /debug/trace/{id}         one trace as a span tree
+//	GET  /debug/trace/{id}/chrome  unified Chrome trace (spans + profiler)
 //	GET  /debug/pprof  the standard runtime profiles
 //
 // Jobs attach a telemetry.Recorder as the engine profiler, so /jobs/{id}
@@ -18,6 +21,12 @@
 // -profile flags render; ν-LPA jobs additionally route device kernel events
 // into the metrics plane via simt.MultiProfiler, which is what makes a
 // mid-run scrape of /metrics show kernel, occupancy, and hashtable activity.
+//
+// Every job additionally opens a root span on the process tracer
+// (internal/trace): the job's trace id appears in its JSON status, in the
+// X-Trace-Id response header, and on its log lines, and keys the
+// /debug/trace endpoints. Requests are logged through log/slog with an
+// X-Request-Id correlation token.
 package httpapi
 
 import (

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"nulpa/internal/quality"
 	"nulpa/internal/simt"
 	"nulpa/internal/telemetry"
+	"nulpa/internal/trace"
 )
 
 // JobSpec is the body of POST /jobs: which detector to run on which graph.
@@ -65,6 +67,10 @@ type JobStatus struct {
 	Communities int     `json:"communities,omitempty"`
 	Modularity  float64 `json:"modularity,omitempty"`
 	DurationMS  float64 `json:"durationMs,omitempty"`
+	// Trace is the job's trace id — the key into /debug/trace/{id} and the
+	// correlation token on every log line the job emitted. Empty when the
+	// job's root span was sampled out.
+	Trace string `json:"trace,omitempty"`
 }
 
 // job is the server-side record.
@@ -78,6 +84,11 @@ type job struct {
 	rec       *telemetry.Recorder
 	res       *engine.Result
 	mod       float64
+	// span is the job's root trace span (nil when sampled out or tracing is
+	// off); traceID is its hex id, kept separately so status() never locks
+	// the span.
+	span    *trace.Span
+	traceID string
 	// cancel aborts the run's context; safe to call at any time, in any
 	// state, any number of times.
 	cancel context.CancelFunc
@@ -109,6 +120,7 @@ func (j *job) status() JobStatus {
 		st.Modularity = j.mod
 		st.DurationMS = float64(j.res.Duration) / float64(time.Millisecond)
 	}
+	st.Trace = j.traceID
 	return st
 }
 
@@ -124,6 +136,9 @@ var (
 		"Finished jobs dropped from the store by the retention cap.")
 	mJobPanics = metrics.NewCounter("httpapi_job_panics_total",
 		"Detector panics recovered by the job runner.")
+	mJobSeconds = metrics.NewHistogram("httpapi_job_duration_seconds",
+		"Submit-to-terminal wall time of one job.",
+		metrics.ExpBuckets(1e-3, 4, 12))
 )
 
 // DefaultMaxFinishedJobs is the retention cap on terminal jobs: once more
@@ -167,7 +182,19 @@ func (s *jobStore) submit(spec JobSpec) (*job, error) {
 	s.next++
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	// The job's root span: everything the run does — detect, iterations,
+	// kernel launches, fault recovery — nests under it, and its trace id is
+	// the handle /jobs/{id} and /debug/trace/{id} share.
+	ctx, j.span = trace.Default().Root(ctx, "job")
+	if j.span != nil {
+		j.traceID = j.span.TraceID().String()
+		j.span.SetInt("job", int64(j.id))
+		j.span.SetString("algo", spec.Algo)
+		j.span.SetString("graph", spec.Graph.String())
+	}
 	mJobsSubmitted.Inc()
+	slog.Info("job created",
+		"job", j.id, "algo", spec.Algo, "graph", spec.Graph.String(), "trace", j.traceID)
 	go j.run(ctx)
 	return j, nil
 }
@@ -177,6 +204,22 @@ func (s *jobStore) get(id int) (*job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// byTrace finds the job whose root span owns traceID — the unified-trace
+// endpoint uses it to pair a span tree with its job's profiler recorder.
+func (s *jobStore) byTrace(traceID string) (*job, bool) {
+	if traceID == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.traceID == traceID {
+			return j, true
+		}
+	}
+	return nil, false
 }
 
 // list returns every job's status, newest first.
@@ -223,6 +266,22 @@ func (j *job) finish(state JobState, err error, res *engine.Result, mod float64)
 	j.mu.Unlock()
 	j.cancel()
 	mJobsByState.With(string(state)).Inc()
+	mJobSeconds.Observe(time.Since(j.submitted).Seconds())
+	j.span.SetString("state", string(state))
+	if err != nil {
+		j.span.SetString("error", err.Error())
+	}
+	j.span.End()
+	attrs := []any{"job", j.id, "state", string(state),
+		"durationMs", time.Since(j.submitted).Milliseconds(), "trace", j.traceID}
+	switch {
+	case err != nil && state == JobCanceled:
+		slog.Info("job canceled", attrs...)
+	case err != nil:
+		slog.Warn("job failed", append(attrs, "error", err)...)
+	default:
+		slog.Info("job finished", attrs...)
+	}
 	j.store.noteFinished()
 }
 
@@ -233,6 +292,7 @@ func (j *job) run(ctx context.Context) {
 	j.mu.Lock()
 	j.state = JobRunning
 	j.mu.Unlock()
+	slog.Info("job started", "job", j.id, "algo", j.spec.Algo, "trace", j.traceID)
 	mJobsActive.Add(1)
 	defer mJobsActive.Add(-1)
 	defer func() {
@@ -322,6 +382,7 @@ func (s *jobStore) noteFinished() {
 	for _, j := range finished[:len(finished)-s.maxFinished] {
 		delete(s.jobs, j.id)
 		mJobsEvicted.Inc()
+		slog.Info("job evicted", "job", j.id, "trace", j.traceID)
 	}
 }
 

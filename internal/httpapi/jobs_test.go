@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -36,7 +37,7 @@ func (slowDetector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, er
 		MaxIterations: 1000,
 		Threshold:     0, // never converges; only cancel or the cap ends it
 		Ctx:           opt.Context,
-	}, func(iter int) engine.IterOutcome {
+	}, func(_ context.Context, iter int) engine.IterOutcome {
 		time.Sleep(10 * time.Millisecond)
 		return engine.IterOutcome{}
 	})

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -10,6 +11,8 @@ import (
 
 	"nulpa/internal/engine"
 	"nulpa/internal/metrics"
+	"nulpa/internal/telemetry"
+	"nulpa/internal/trace"
 )
 
 // HTTP-plane metrics, plus the process gauges every scrape wants alongside
@@ -57,12 +60,15 @@ func WithMaxFinishedJobs(n int) Option {
 	return func(s *Server) { s.jobs.maxFinished = n }
 }
 
-// NewServer returns a Server with an empty job store.
+// NewServer returns a Server with an empty job store. Construction enables
+// the process tracer: a server without spans would serve /debug/trace from an
+// empty ring.
 func NewServer(opts ...Option) *Server {
 	s := &Server{jobs: newJobStore(), start: time.Now(), mux: http.NewServeMux()}
 	for _, o := range opts {
 		o(s)
 	}
+	trace.Default().SetEnabled(true)
 	s.handle("GET /healthz", "healthz", s.healthz)
 	s.handle("GET /metrics", "metrics", s.metrics)
 	s.handle("GET /debug/vars", "vars", s.vars)
@@ -71,6 +77,9 @@ func NewServer(opts ...Option) *Server {
 	s.handle("GET /jobs", "jobs-list", s.listJobs)
 	s.handle("GET /jobs/{id}", "jobs-get", s.getJob)
 	s.handle("DELETE /jobs/{id}", "jobs-cancel", s.cancelJob)
+	s.handle("GET /debug/trace", "trace-list", s.listTraces)
+	s.handle("GET /debug/trace/{id}", "trace-get", s.getTrace)
+	s.handle("GET /debug/trace/{id}/chrome", "trace-chrome", s.getTraceChrome)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -102,13 +111,50 @@ func (s *Server) CancelAll() { s.jobs.cancelAll() }
 // Handler returns the server's route table.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// handle mounts h with per-route request accounting.
+// statusWriter captures the response status for the access log. The zero
+// status means the handler never called WriteHeader, which net/http treats
+// as 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// handle mounts h with per-route request accounting and the access log.
+// Every response carries an X-Request-Id; handlers that touch a traced job
+// add X-Trace-Id, which the access log picks up so a request line can be
+// followed into /debug/trace/{id}.
 func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		h(w, r)
+		reqID := trace.NewID()
+		w.Header().Set("X-Request-Id", reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
 		mRequests.With(route).Inc()
 		mRequestSeconds.Observe(time.Since(start).Seconds())
+		attrs := []any{"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"durationUs", time.Since(start).Microseconds(), "request", reqID}
+		if tid := w.Header().Get("X-Trace-Id"); tid != "" {
+			attrs = append(attrs, "trace", tid)
+		}
+		slog.Info("http request", attrs...)
 	})
 }
 
@@ -144,6 +190,9 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if j.traceID != "" {
+		w.Header().Set("X-Trace-Id", j.traceID)
+	}
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
@@ -161,6 +210,9 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
 		return
+	}
+	if j.traceID != "" {
+		w.Header().Set("X-Trace-Id", j.traceID)
 	}
 	writeJSON(w, http.StatusOK, j.status())
 }
@@ -186,6 +238,62 @@ func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// listTraces handles GET /debug/trace: one summary row per trace resident in
+// the ring, newest first, plus the tracer's volume accounting.
+func (s *Server) listTraces(w http.ResponseWriter, r *http.Request) {
+	t := trace.Default()
+	recorded, dropped, sampledOut := t.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces": trace.Summaries(t.Spans()),
+		"stats": map[string]uint64{
+			"recorded": recorded, "dropped": dropped, "sampledOut": sampledOut,
+		},
+	})
+}
+
+// getTrace handles GET /debug/trace/{id}: the trace's resident spans as a
+// tree (job → detect → iteration → kernel launches).
+func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := trace.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spans := trace.Default().TraceSpans(id)
+	if len(spans) == 0 {
+		http.Error(w, `{"error":"no such trace"}`, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace": id.String(),
+		"spans": trace.BuildTree(spans),
+	})
+}
+
+// getTraceChrome handles GET /debug/trace/{id}/chrome: the unified Chrome
+// trace — the span tree merged with the owning job's device-profiler
+// timeline (spans only when the job is gone or the trace wasn't a job's).
+func (s *Server) getTraceChrome(w http.ResponseWriter, r *http.Request) {
+	id, err := trace.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spans := trace.Default().TraceSpans(id)
+	if len(spans) == 0 {
+		http.Error(w, `{"error":"no such trace"}`, http.StatusNotFound)
+		return
+	}
+	var rec *telemetry.Recorder
+	if j, ok := s.jobs.byTrace(id.String()); ok {
+		rec = j.rec
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		`attachment; filename="trace-`+id.String()+`.json"`)
+	telemetry.WriteUnifiedChromeTrace(w, rec, spans)
 }
 
 // Submit starts a job directly (the -serve CLI path submits its initial job

@@ -1,0 +1,169 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"nulpa/internal/trace"
+
+	_ "nulpa/internal/engine/all"
+)
+
+// traceNode mirrors trace.Node for decoding /debug/trace/{id}.
+type traceNode struct {
+	Name     string       `json:"name"`
+	Children []*traceNode `json:"children"`
+}
+
+// findSpan walks the tree depth-first for a span whose name satisfies match.
+func findSpan(nodes []*traceNode, match func(string) bool) *traceNode {
+	for _, n := range nodes {
+		if match(n.Name) {
+			return n
+		}
+		if hit := findSpan(n.Children, match); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// TestJobTraceEndToEnd is the tracing acceptance path: one ν-LPA job yields
+// one connected trace — job span → detect span → iteration spans → kernel
+// launch spans — retrievable from /debug/trace/{id} and exportable as a
+// unified Chrome trace.
+func TestJobTraceEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+
+	spec := `{"algo":"nulpa","graph":{"gen":"planted","n":400,"deg":8,"seed":3},"workers":2}`
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	var st JobStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("submit response not JSON: %v\n%s", err, body)
+	}
+	if st.Trace == "" {
+		t.Fatalf("submitted job carries no trace id: %s", body)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != st.Trace {
+		t.Errorf("X-Trace-Id = %q, want %q", got, st.Trace)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("submit response has no X-Request-Id")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != JobDone {
+		if st.State == JobFailed || time.Now().After(deadline) {
+			t.Fatalf("job state %q (error %q)", st.State, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+		_, body := get(t, fmt.Sprintf("%s/jobs/%d", ts.URL, st.ID))
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The listing knows the trace and its root.
+	code, listBody := get(t, ts.URL+"/debug/trace")
+	if code != 200 {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	var listing struct {
+		Traces []trace.Summary   `json:"traces"`
+		Stats  map[string]uint64 `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(listBody), &listing); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	found := false
+	for _, s := range listing.Traces {
+		if s.Trace == st.Trace {
+			found = true
+			if s.Root != "job" {
+				t.Errorf("trace root = %q, want \"job\"", s.Root)
+			}
+			if s.Spans < 3 {
+				t.Errorf("trace has %d spans, want >= 3", s.Spans)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s missing from listing: %s", st.Trace, listBody)
+	}
+
+	// The tree connects job → detect → iteration → kernel launch.
+	code, treeBody := get(t, ts.URL+"/debug/trace/"+st.Trace)
+	if code != 200 {
+		t.Fatalf("/debug/trace/%s = %d %s", st.Trace, code, treeBody)
+	}
+	var tree struct {
+		Trace string       `json:"trace"`
+		Spans []*traceNode `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(treeBody), &tree); err != nil {
+		t.Fatalf("trace tree not JSON: %v", err)
+	}
+	if len(tree.Spans) != 1 || tree.Spans[0].Name != "job" {
+		t.Fatalf("trace roots = %v, want exactly one \"job\" span", tree.Spans)
+	}
+	job := tree.Spans[0]
+	detect := findSpan(job.Children, func(n string) bool { return n == "detect" })
+	if detect == nil {
+		t.Fatalf("no detect span under job: %s", treeBody)
+	}
+	iter := findSpan(detect.Children, func(n string) bool { return n == "iteration" })
+	if iter == nil {
+		t.Fatalf("no iteration span under detect: %s", treeBody)
+	}
+	if findSpan(iter.Children, func(n string) bool { return strings.HasPrefix(n, "kernel:") }) == nil {
+		t.Fatalf("no kernel span under iteration: %s", treeBody)
+	}
+
+	// The unified Chrome export is valid trace-event JSON carrying both the
+	// span process and the device process.
+	code, chromeBody := get(t, ts.URL+"/debug/trace/"+st.Trace+"/chrome")
+	if code != 200 {
+		t.Fatalf("chrome export = %d", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(chromeBody), &doc); err != nil {
+		t.Fatalf("chrome export not JSON: %v", err)
+	}
+	spanSlices, deviceSlices := 0, 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch ev.Pid {
+		case 2:
+			spanSlices++
+		case 0:
+			deviceSlices++
+		}
+	}
+	if spanSlices < 3 || deviceSlices == 0 {
+		t.Errorf("unified trace: %d span slices (want >= 3), %d device slices (want > 0)",
+			spanSlices, deviceSlices)
+	}
+
+	// Unknown and malformed ids.
+	if code, _ := get(t, ts.URL+"/debug/trace/ffffffffffffffff"); code != http.StatusNotFound {
+		t.Errorf("missing trace = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/trace/nope"); code != http.StatusBadRequest {
+		t.Errorf("bad trace id = %d, want 400", code)
+	}
+}

@@ -100,7 +100,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		Threshold:     1,
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
-	}, func(level int) engine.IterOutcome {
+	}, func(_ context.Context, level int) engine.IterOutcome {
 		var comm []uint32
 		var moves int64
 		var sweeps int

@@ -28,7 +28,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteString("# TYPE " + e.name + " " + e.kind.promType() + "\n")
 		switch e.kind {
 		case kindCounter:
-			writeSample(bw, e.name, "", "", formatInt(e.counter.Value()))
+			writeCounter(bw, e.name, "", "", e.counter)
 		case kindGauge:
 			writeSample(bw, e.name, "", "", formatFloat(e.gauge.Value()))
 		case kindCounterFunc, kindGaugeFunc:
@@ -37,7 +37,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			writeHistogram(bw, e.name, "", "", e.hist)
 		case kindCounterVec:
 			for _, k := range e.sortedVecKeys() {
-				writeSample(bw, e.name, e.label, k, formatInt(e.counterChild(k).Value()))
+				writeCounter(bw, e.name, e.label, k, e.counterChild(k))
 			}
 		case kindGaugeVec:
 			for _, k := range e.sortedVecKeys() {
@@ -60,6 +60,22 @@ func writeSample(bw *bufio.Writer, name, label, value, v string) {
 		bw.WriteString("{" + label + "=\"" + escapeLabel(value) + "\"}")
 	}
 	bw.WriteString(" " + v + "\n")
+}
+
+// writeCounter writes a counter sample, appending its exemplar in
+// OpenMetrics style (` # {trace_id="..."} 1 <unix-seconds>`) when one was
+// recorded — the hook that links a counter spike to the trace behind it.
+func writeCounter(bw *bufio.Writer, name, label, value string, c *Counter) {
+	bw.WriteString(name)
+	if label != "" {
+		bw.WriteString("{" + label + "=\"" + escapeLabel(value) + "\"}")
+	}
+	bw.WriteString(" " + formatInt(c.Value()))
+	if ex := c.Exemplar(); ex != nil {
+		bw.WriteString(" # {trace_id=\"" + escapeLabel(ex.TraceID) + "\"} 1 " +
+			strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
+	}
+	bw.WriteString("\n")
 }
 
 // writeHistogram writes the cumulative _bucket series plus _sum and _count.

@@ -25,15 +25,40 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Exemplar links a counter increment to the trace that caused it: a scrape
+// of nulpa_backend_fallbacks_total shows not just that fallbacks happened
+// but which trace to open in /debug/trace to see why. Only the most recent
+// exemplar is kept — the standard exemplar contract.
+type Exemplar struct {
+	// TraceID is the 16-hex-digit trace id (internal/trace form).
+	TraceID string
+	// Value is the counter's value right after the exemplified increment.
+	Value int64
+	// Time is when the increment happened.
+	Time time.Time
+}
 
 // Counter is a monotonically increasing value.
 type Counter struct {
-	v atomic.Int64
+	v  atomic.Int64
+	ex atomic.Pointer[Exemplar]
 }
 
 // Inc adds 1.
 func (c *Counter) Inc() { c.v.Add(1) }
+
+// IncExemplar adds 1 and, when traceID is non-empty, records it as the
+// counter's exemplar. The exemplar is rendered in OpenMetrics style on the
+// counter's /metrics line and is readable via Exemplar.
+func (c *Counter) IncExemplar(traceID string) {
+	n := c.v.Add(1)
+	if traceID != "" {
+		c.ex.Store(&Exemplar{TraceID: traceID, Value: n, Time: time.Now()})
+	}
+}
 
 // Add adds delta; negative deltas are programmer errors and are ignored.
 func (c *Counter) Add(delta int64) {
@@ -44,6 +69,9 @@ func (c *Counter) Add(delta int64) {
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Exemplar returns the most recent exemplar, or nil if none was recorded.
+func (c *Counter) Exemplar() *Exemplar { return c.ex.Load() }
 
 // Gauge is a value that can go up and down, stored as float64 bits.
 type Gauge struct {
@@ -181,7 +209,7 @@ type entry struct {
 	hist    *Histogram
 	fn      func() float64
 
-	label   string  // families: the single label name
+	label   string // families: the single label name
 	vecMu   sync.RWMutex
 	vecC    map[string]*Counter
 	vecG    map[string]*Gauge

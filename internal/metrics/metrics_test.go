@@ -147,6 +147,38 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+func TestCounterExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fallbacks_total", "Backend fallbacks.")
+	c.Inc()           // no exemplar yet
+	c.IncExemplar("") // empty trace id records no exemplar
+	c.IncExemplar("00000000000000ab")
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `fallbacks_total 3 # {trace_id="00000000000000ab"} 1 `) {
+		t.Errorf("counter exemplar missing:\n%s", out)
+	}
+	ex := c.Exemplar()
+	if ex == nil || ex.TraceID != "00000000000000ab" || ex.Time.IsZero() {
+		t.Errorf("Exemplar() = %+v", ex)
+	}
+
+	// A counter without an exemplar renders a plain sample line.
+	r2 := NewRegistry()
+	r2.Counter("plain_total", "").Inc()
+	b.Reset()
+	if err := r2.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "plain_total 1\n") {
+		t.Errorf("plain counter line drifted:\n%s", b.String())
+	}
+}
+
 func TestWriteJSONShape(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c_total", "").Add(3)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"nulpa/internal/graph"
 	"nulpa/internal/hashtable"
 	"nulpa/internal/simt"
+	"nulpa/internal/trace"
 )
 
 // Typed fault errors. Callers match with errors.Is.
@@ -47,7 +49,15 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 	}
 	res, err := detectSIMT(g, opt)
 	if err != nil && errors.Is(err, ErrFaulted) && !opt.DisableFallback {
-		mFallbacks.Inc()
+		// The degradation is the run's most important observability moment:
+		// it lands on the run's span as an event, in the log stream with the
+		// trace id, and as a counter exemplar so a dashboard's fallback spike
+		// links straight to the trace that tripped it.
+		traceID := trace.IDFromContext(opt.Context)
+		mFallbacks.IncExemplar(traceID)
+		trace.FromContext(opt.Context).Event("fallback:direct", map[string]any{"error": err.Error()})
+		slog.Warn("nulpa simt backend faulted beyond recovery; degrading to the direct backend",
+			"trace", traceID, "error", err)
 		fopt := opt
 		fopt.Backend = BackendDirect
 		fopt.Workers = 1 // sequential: the most conservative rung
@@ -166,7 +176,11 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 		Threshold:     opt.Tolerance * float64(n),
 		Ctx:           ctx,
 		Profiler:      opt.Profiler,
-	}, func(iter int) engine.IterOutcome {
+	}, func(ctx context.Context, iter int) engine.IterOutcome {
+		// ctx carries the iteration's trace span (shadowing the run context),
+		// so kernel launches below nest under the iteration and recovery
+		// activity lands on it as events.
+		ispan := trace.FromContext(ctx)
 		st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
 		crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
 		if ckptLabels != nil {
@@ -225,6 +239,7 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 				opt.Faults.CorruptLabels(st.labels)
 				if ckptLabels != nil && !labelsValid(st.labels, n) {
 					mCorruptions.Inc()
+					ispan.Event("fault:corrupt-labels", map[string]any{"attempt": int64(attempt)})
 					err = ErrCorruptLabels
 				}
 			}
@@ -245,6 +260,7 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 			copy(st.processed, ckptProcessed)
 			res.Rollbacks++
 			mRollbacks.Inc()
+			ispan.Event("rollback", map[string]any{"attempt": int64(attempt), "error": err.Error()})
 			if attempt+1 >= maxRetries {
 				return engine.IterOutcome{Err: fmt.Errorf("%w: iteration %d failed %d consecutive attempts, last: %v",
 					ErrFaulted, iter, attempt+1, err)}
@@ -252,6 +268,7 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 			retries++
 			res.Retries++
 			mRetries.Inc()
+			ispan.Event("retry", map[string]any{"attempt": int64(attempt + 1)})
 			if !sleepCtx(ctx, backoff<<attempt) {
 				return engine.IterOutcome{Err: engine.CtxErr(ctx.Err())}
 			}

@@ -1,6 +1,7 @@
 package nulpa
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,7 +48,7 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 		Threshold:     opt.Tolerance * float64(n),
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
-	}, func(iter int) engine.IterOutcome {
+	}, func(_ context.Context, iter int) engine.IterOutcome {
 		st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
 		crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
 		atomic.StoreInt64(&st.deltaN, 0)

@@ -94,7 +94,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		Threshold:     theta,
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
-	}, func(iter int) engine.IterOutcome {
+	}, func(_ context.Context, iter int) engine.IterOutcome {
 		var updated int64
 		runGuided(n, workers, func(lo, hi int, sc *scratch) {
 			var local int64

@@ -23,11 +23,14 @@ package simt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nulpa/internal/trace"
 )
 
 // WarpSize is the number of lanes that execute in lockstep, matching NVIDIA
@@ -205,28 +208,55 @@ func (d *Device) LaunchKernel(ctx context.Context, gridDim, blockDim int, k Kern
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// Kernel-launch span: the leaf of the job → detect → iteration tree. The
+	// FromContext guard keeps the untraced path allocation-free — the name
+	// concatenation below only happens once a parent span exists.
+	var ks *trace.Span
+	if trace.FromContext(ctx) != nil {
+		_, ks = trace.Child(ctx, "kernel:"+KernelName(k))
+		ks.SetInt("grid", int64(gridDim))
+		ks.SetInt("blockDim", int64(blockDim))
+	}
+	finish := func(err error) error {
+		if err != nil {
+			ks.SetString("error", err.Error())
+			ks.SetBool("canceled", errors.Is(err, context.Canceled) ||
+				errors.Is(err, context.DeadlineExceeded))
+		}
+		ks.End()
+		return err
+	}
 	if d.Faults != nil {
 		// The launch ordinal is read before launch() increments it, so the
 		// injector sees a 0-based, strictly increasing sequence per device.
 		switch f := d.Faults.LaunchFault(KernelName(k), d.KernelsRun.Load()); f.Kind {
 		case FaultLaunchFail:
 			d.KernelsRun.Add(1)
-			return fmt.Errorf("%w: %s (%d×%d)", ErrKernelLaunch, KernelName(k), gridDim, blockDim)
+			ks.Event("fault:kernel-launch-fail", nil)
+			return finish(fmt.Errorf("%w: %s (%d×%d)", ErrKernelLaunch, KernelName(k), gridDim, blockDim))
 		case FaultLivelock:
 			d.KernelsRun.Add(1)
 			casRetries.Add(f.Spins)
-			return fmt.Errorf("%w: %s after %d CAS retries", ErrLivelock, KernelName(k), f.Spins)
+			if ks != nil {
+				ks.Event("fault:livelock", map[string]any{"spins": f.Spins})
+			}
+			return finish(fmt.Errorf("%w: %s after %d CAS retries", ErrLivelock, KernelName(k), f.Spins))
 		case FaultStall:
 			// Stall one SM (chosen by launch ordinal) before it drains its
 			// blocks — preemption or throttling. The kernel still completes
 			// correctly; only the deadline above can turn this into an error.
 			stall := stallSpec{sm: int(d.KernelsRun.Load()) % d.NumSMs, d: f.Stall}
+			if ks != nil {
+				ks.Event("fault:stall", map[string]any{
+					"sm": int64(stall.sm), "stallUs": stall.d.Microseconds(),
+				})
+			}
 			d.launch(ctx, gridDim, blockDim, k, stall)
-			return ctx.Err()
+			return finish(ctx.Err())
 		}
 	}
 	d.launch(ctx, gridDim, blockDim, k, stallSpec{sm: -1})
-	return ctx.Err()
+	return finish(ctx.Err())
 }
 
 // stallSpec tells launch to delay one SM; sm < 0 means no stall.

@@ -21,7 +21,8 @@ const (
 )
 
 // traceEvent is one entry of the trace-event format; timestamps and
-// durations are in microseconds.
+// durations are in microseconds. S is the instant-event scope ("t" = thread),
+// set only on ph "i" events.
 type traceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -30,6 +31,7 @@ type traceEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -43,6 +45,17 @@ type traceDoc struct {
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	r.mu.Lock()
 	base := r.base
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceDoc{TraceEvents: r.chromeEvents(base), DisplayTimeUnit: "ms"})
+}
+
+// chromeEvents renders the recorder's launches and iteration records as
+// trace events with timestamps relative to base. It is the shared body of
+// WriteChromeTrace and WriteUnifiedChromeTrace, which differ only in the
+// base they pick and in what else shares the document.
+func (r *Recorder) chromeEvents(base time.Time) []traceEvent {
+	r.mu.Lock()
 	launches := make([]*Launch, len(r.launches))
 	copy(launches, r.launches)
 	iters := make([]iterEvent, len(r.iters))
@@ -122,8 +135,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		)
 	}
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(traceDoc{TraceEvents: evs, DisplayTimeUnit: "ms"})
+	return evs
 }
 
 // jsonSMName zero-pads to two digits so chrome://tracing sorts rows

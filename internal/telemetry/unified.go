@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"nulpa/internal/trace"
+)
+
+// Unified Chrome trace: the device-level profiler timeline and the causal
+// span tree of the same run, merged into one trace-event document. The
+// profiler contributes its usual two processes (SM rows and iteration
+// slices); the spans land in a third process, where Chrome's time-containment
+// nesting reconstructs the job → detect → iteration → kernel tree and span
+// events (retries, rollbacks, fallbacks) appear as instant markers at their
+// offsets. Because both sides carry wall-clock timestamps, slices line up:
+// the kernel span that covers an SM slice sits directly above it.
+
+// tracePid is the third process of the unified document (devicePid and
+// runPid are taken by the profiler's layout).
+const tracePid = 2
+
+// WriteUnifiedChromeTrace writes spans and, when r is non-nil, r's profiler
+// timeline as one Chrome trace-event JSON document. The time base is the
+// earliest instant either side knows about, so every timestamp is
+// non-negative.
+func WriteUnifiedChromeTrace(w io.Writer, r *Recorder, spans []trace.SpanData) error {
+	var base time.Time
+	if r != nil {
+		r.mu.Lock()
+		base = r.base
+		r.mu.Unlock()
+	}
+	for _, s := range spans {
+		if !s.Start.IsZero() && (base.IsZero() || s.Start.Before(base)) {
+			base = s.Start
+		}
+	}
+	us := func(t time.Time) float64 {
+		if t.IsZero() {
+			return 0
+		}
+		return float64(t.Sub(base).Nanoseconds()) / 1e3
+	}
+
+	var evs []traceEvent
+	if r != nil {
+		evs = r.chromeEvents(base)
+	}
+	evs = append(evs,
+		traceEvent{Name: "process_name", Ph: "M", Pid: tracePid,
+			Args: map[string]any{"name": "trace"}},
+		traceEvent{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: 0,
+			Args: map[string]any{"name": "spans"}},
+	)
+
+	// Parents before children, earlier spans first: Chrome nests X slices on
+	// one thread row by time containment, and sorting by start (duration
+	// breaking ties, longer first) hands it the tree in the right order.
+	sorted := make([]trace.SpanData, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if !sorted[i].Start.Equal(sorted[j].Start) {
+			return sorted[i].Start.Before(sorted[j].Start)
+		}
+		if sorted[i].DurationUS != sorted[j].DurationUS {
+			return sorted[i].DurationUS > sorted[j].DurationUS
+		}
+		return sorted[i].Span < sorted[j].Span
+	})
+	for _, s := range sorted {
+		args := map[string]any{"trace": s.Trace, "span": s.Span}
+		if s.Parent != "" {
+			args["parent"] = s.Parent
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		evs = append(evs, traceEvent{
+			Name: s.Name, Cat: "span", Ph: "X",
+			Ts: us(s.Start), Dur: s.DurationUS,
+			Pid: tracePid, Tid: 0, Args: args,
+		})
+		for _, e := range s.Events {
+			evs = append(evs, traceEvent{
+				Name: e.Name, Cat: "span-event", Ph: "i",
+				Ts:  us(s.Start) + e.OffsetUS,
+				Pid: tracePid, Tid: 0, S: "t", Args: e.Attrs,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceDoc{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

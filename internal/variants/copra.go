@@ -74,7 +74,7 @@ func COPRA(g *graph.CSR, opt COPRAOptions) (*COPRAResult, error) {
 		Threshold:     0,
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
-	}, func(it int) engine.IterOutcome {
+	}, func(_ context.Context, it int) engine.IterOutcome {
 		for v := 0; v < n; v++ {
 			ts, ws := g.Neighbors(graph.Vertex(v))
 			out := next[v]

@@ -93,7 +93,7 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) (*LabelRankResult, error) {
 		Threshold:     1,
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
-	}, func(it int) engine.IterOutcome {
+	}, func(_ context.Context, it int) engine.IterOutcome {
 		var updated int64
 		for v := 0; v < n; v++ {
 			ts, _ := g.Neighbors(graph.Vertex(v))

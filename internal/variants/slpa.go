@@ -81,7 +81,7 @@ func SLPA(g *graph.CSR, opt SLPAOptions) (*SLPAResult, error) {
 		Threshold:     0,
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
-	}, func(it int) engine.IterOutcome {
+	}, func(_ context.Context, it int) engine.IterOutcome {
 		var stored int64
 		for v := 0; v < n; v++ {
 			ts, _ := g.Neighbors(graph.Vertex(v))

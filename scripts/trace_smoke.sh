@@ -1,0 +1,42 @@
+#!/bin/sh
+# trace_smoke.sh — end-to-end check of the span tracing pipeline: run a small
+# ν-LPA detection with -trace-out, then validate the JSONL export with
+# cmd/tracecheck (schema-clean spans, and one trace connecting
+# run → detect → iteration → kernel). Also exercises both log formats so a
+# bad slog wiring fails here rather than in production.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+echo "trace-smoke: one-shot run with JSONL export (json logs)"
+go run ./cmd/nulpa -gen planted -n 2000 -deg 8 -seed 7 \
+    -trace-out "$out/spans.jsonl" -log-format json 2> "$out/log.json"
+
+echo "trace-smoke: validating span export"
+go run ./cmd/tracecheck "$out/spans.jsonl"
+
+# The json log stream must be machine-readable line JSON naming the trace.
+if ! grep -q '"msg":"run finished"' "$out/log.json"; then
+    echo "trace-smoke: FAIL — no 'run finished' JSON log line" >&2
+    cat "$out/log.json" >&2
+    exit 1
+fi
+if ! grep -q '"trace":"' "$out/log.json"; then
+    echo "trace-smoke: FAIL — log lines carry no trace id" >&2
+    cat "$out/log.json" >&2
+    exit 1
+fi
+
+echo "trace-smoke: text log format"
+go run ./cmd/nulpa -gen planted -n 2000 -deg 8 -seed 7 \
+    -trace-out "$out/spans2.jsonl" -log-format text 2> "$out/log.txt" > /dev/null
+grep -q 'msg="run finished"' "$out/log.txt" || {
+    echo "trace-smoke: FAIL — no 'run finished' text log line" >&2
+    cat "$out/log.txt" >&2
+    exit 1
+}
+
+echo "trace-smoke: ok"
