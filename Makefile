@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-full bench chaos trace-smoke
+.PHONY: check build vet lint test test-full bench chaos trace-smoke perfdiff-smoke
 
 check: vet lint test chaos trace-smoke
 
@@ -39,6 +39,12 @@ chaos:
 # connectivity), plus both -log-format modes.
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# Perfdiff smoke: bench twice into one history file, diff the pair with
+# cmd/perfdiff, and validate the attribution report (coverage of the work
+# counters, golden JSON schema, Chrome counter export).
+perfdiff-smoke:
+	sh scripts/perfdiff_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/bench/

@@ -12,6 +12,10 @@
 //	bench -experiment perf -reps 5 -json BENCH_BASE.json     # capture baseline
 //	bench -experiment perf -reps 5 -baseline BENCH_BASE.json # report ratios
 //	bench -experiment perf -reps 5 -baseline BENCH_BASE.json -check  # fail > threshold
+//
+// Every run is also appended to a per-host history file (default
+// BENCH_<hostname>.json, disable with -history "") so results accumulate
+// across runs instead of being lost; `perfdiff` can diff any two entries.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"nulpa/internal/bench"
+	"nulpa/internal/perfdiff"
 )
 
 func main() {
@@ -38,6 +43,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "compare this run's perf medians against a saved JSON report")
 		check      = flag.Bool("check", false, "exit 1 when any baseline comparison exceeds -threshold")
 		threshold  = flag.Float64("threshold", 1.5, "regression ratio above which -check fails (current/baseline)")
+		history    = flag.String("history", bench.DefaultHistoryPath(), "append this run to a bench history file (\"\" disables)")
 	)
 	flag.Parse()
 
@@ -103,17 +109,36 @@ func main() {
 		}
 	}
 
+	report := bench.Report{Scale: scale.String(), Reps: *reps, Tables: all}
+
+	if *history != "" {
+		entry := bench.NewHistoryEntry(*experiment, *sms, cfg.Graphs, report)
+		n, err := bench.AppendHistory(*history, entry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: history: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "history: appended entry %d to %s\n", n, *history)
+	}
+
 	if *baseline != "" {
 		base, err := bench.ReadReport(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
-		current := bench.Report{Scale: scale.String(), Reps: *reps, Tables: all}
-		cs := bench.CompareReports(base, current)
+		cs := bench.CompareReports(base, report)
 		regressed := bench.WriteComparison(w, cs, *threshold)
 		if *check && regressed > 0 {
 			fmt.Fprintf(os.Stderr, "bench: %d cell(s) regressed beyond %.2f× of baseline\n", regressed, *threshold)
+			// Attribute the failure: diff every series (timings and work
+			// counters) so the gate names the kernel/counter that moved, not
+			// just the wall-clock cell.
+			diff := perfdiff.Compare(base, report, *threshold)
+			if line := diff.TopOffender(); line != "" {
+				fmt.Fprintf(os.Stderr, "bench: %s\n", line)
+			}
+			fmt.Fprintln(os.Stderr, "bench: run `perfdiff <baseline> <current>` on the JSON captures for the full attribution table")
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,124 @@
+// Command perfdiff attributes a performance change: it takes two captures
+// and reports, per kernel and per counter, what moved between them —
+// turning "the gate failed at 1.8×" into "thread kernel hash probes grew
+// 2.3× on the web graph".
+//
+// A capture is any of:
+//
+//   - a bench report (`bench -experiment perf -json BENCH.json`)
+//   - a bench history file (`bench` appends every run to BENCH_<host>.json);
+//     pick entries with -a/-b, negative counts from the end
+//   - a /debug/perf metrics snapshot (`curl :6060/debug/perf`)
+//
+// Usage:
+//
+//	perfdiff OLD.json NEW.json               # markdown table, top offender last
+//	perfdiff BENCH_host.json                 # diff the last two history entries
+//	perfdiff -a -5 -b -1 BENCH_host.json     # diff entry -5 against the latest
+//	perfdiff -json diff.json OLD.json NEW.json
+//	perfdiff -chrome trace.json OLD.json NEW.json   # counter tracks for Perfetto
+//	perfdiff -check OLD.json NEW.json        # exit 1 when anything regressed
+//	perfdiff -schema                         # print the report JSON schema
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nulpa/internal/perfdiff"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 1.5, "regression ratio above which a cell is flagged (current/base)")
+		entryA    = flag.Int("a", -1, "history entry for the base capture (negative = from the end)")
+		entryB    = flag.Int("b", -1, "history entry for the current capture (negative = from the end)")
+		jsonOut   = flag.String("json", "", "write the full report as JSON to this file (\"-\" = stdout)")
+		chromeOut = flag.String("chrome", "", "write Chrome trace-event counter tracks to this file")
+		rows      = flag.Int("rows", 24, "max table rows to print (0 = all)")
+		check     = flag.Bool("check", false, "exit 1 when any cell regressed beyond -threshold")
+		schema    = flag.Bool("schema", false, "print the report JSON schema descriptor and exit")
+	)
+	flag.Parse()
+
+	if *schema {
+		out, err := json.MarshalIndent(perfdiff.Schema(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	var basePath, curPath string
+	switch flag.NArg() {
+	case 1:
+		// One history file: diff its two most recent entries unless the
+		// caller picked specific ones.
+		basePath, curPath = flag.Arg(0), flag.Arg(0)
+		if *entryA == -1 && *entryB == -1 {
+			*entryA = -2
+		}
+	case 2:
+		basePath, curPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [flags] BASE [CURRENT]  (see -h)")
+		os.Exit(2)
+	}
+
+	base, baseDesc, err := perfdiff.LoadCapture(basePath, *entryA)
+	if err != nil {
+		fatal(err)
+	}
+	cur, curDesc, err := perfdiff.LoadCapture(curPath, *entryB)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := perfdiff.Compare(base, cur, *threshold)
+
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "-" {
+		fmt.Printf("base:    %s\ncurrent: %s\n\n", baseDesc, curDesc)
+		rep.WriteTable(os.Stdout, *rows)
+	}
+
+	if *check && rep.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "perfdiff: %d cell(s) regressed beyond %.2f×\n", rep.Regressions, *threshold)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Bench history: every run appends its full report plus capture metadata to
+// a per-host JSON file (default BENCH_<hostname>.json), so the perf
+// trajectory the ROADMAP expects survives across PRs instead of being
+// overwritten run after run. The file is a schema-versioned envelope:
+//
+//	{"schema": 1, "entries": [ {..., "report": {...}}, ... ]}
+//
+// perfdiff reads the same file and can diff any two entries in it.
+
+// HistorySchema is the history file format version; bump on incompatible
+// envelope changes. Readers reject files with a newer schema than they know.
+const HistorySchema = 1
+
+// HistoryEntry is one recorded bench run.
+type HistoryEntry struct {
+	// Schema is the entry format version (HistorySchema at write time).
+	Schema int `json:"schema"`
+	// Time is the capture wall-clock time, RFC 3339.
+	Time time.Time `json:"time"`
+	// Host is the capturing machine's hostname.
+	Host string `json:"host"`
+	// GoVersion is runtime.Version() of the capturing binary.
+	GoVersion string `json:"goVersion"`
+	// GitSHA is the repository commit the binary was built from, when
+	// discoverable (empty otherwise).
+	GitSHA string `json:"gitSHA,omitempty"`
+	// Experiment is the bench experiment id that produced the report.
+	Experiment string `json:"experiment,omitempty"`
+	// SMs is the worker/SM count the run used.
+	SMs int `json:"sms,omitempty"`
+	// Graphs lists the graph names the run covered.
+	Graphs []string `json:"graphs,omitempty"`
+	// Report is the full captured report, series included.
+	Report Report `json:"report"`
+}
+
+// History is the on-disk envelope.
+type History struct {
+	Schema  int            `json:"schema"`
+	Entries []HistoryEntry `json:"entries"`
+}
+
+// DefaultHistoryPath returns BENCH_<hostname>.json — one trajectory file per
+// machine, so medians from different hosts never get compared by accident.
+func DefaultHistoryPath() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown"
+	}
+	// Hostnames can contain path-hostile characters on some platforms.
+	host = strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '-'
+		}
+		return r
+	}, host)
+	return "BENCH_" + host + ".json"
+}
+
+// ReadHistory loads a history file. A missing file is an empty history, not
+// an error; a file with a newer schema is rejected rather than misread.
+func ReadHistory(path string) (History, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return History{Schema: HistorySchema}, nil
+	}
+	if err != nil {
+		return History{}, err
+	}
+	var h History
+	if err := json.Unmarshal(data, &h); err != nil {
+		return History{}, fmt.Errorf("bench: parse history %s: %w", path, err)
+	}
+	if h.Schema > HistorySchema {
+		return History{}, fmt.Errorf("bench: history %s has schema %d, newer than supported %d",
+			path, h.Schema, HistorySchema)
+	}
+	return h, nil
+}
+
+// AppendHistory appends entry to the history at path (read-modify-write,
+// creating the file on first use) and returns the new entry count. The write
+// goes through a temp file + rename so a crash cannot truncate the
+// trajectory.
+func AppendHistory(path string, entry HistoryEntry) (int, error) {
+	h, err := ReadHistory(path)
+	if err != nil {
+		return 0, err
+	}
+	entry.Schema = HistorySchema
+	h.Schema = HistorySchema
+	h.Entries = append(h.Entries, entry)
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return len(h.Entries), nil
+}
+
+// NewHistoryEntry stamps a report with capture metadata.
+func NewHistoryEntry(experiment string, sms int, graphs []string, r Report) HistoryEntry {
+	host, _ := os.Hostname()
+	return HistoryEntry{
+		Schema:     HistorySchema,
+		Time:       time.Now().UTC(),
+		Host:       host,
+		GoVersion:  runtime.Version(),
+		GitSHA:     GitSHA(),
+		Experiment: experiment,
+		SMs:        sms,
+		Graphs:     graphs,
+		Report:     r,
+	}
+}
+
+// GitSHA resolves the current commit by reading .git/HEAD from the working
+// directory upward — no git binary required, best-effort: an empty string
+// means the binary is not running inside a checkout.
+func GitSHA() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		head, err := os.ReadFile(filepath.Join(dir, ".git", "HEAD"))
+		if err == nil {
+			return resolveHead(filepath.Join(dir, ".git"), strings.TrimSpace(string(head)))
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+func resolveHead(gitDir, head string) string {
+	if ref, ok := strings.CutPrefix(head, "ref: "); ok {
+		sha, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref)))
+		if err == nil {
+			return strings.TrimSpace(string(sha))
+		}
+		// Packed refs: "sha ref" lines.
+		packed, err := os.ReadFile(filepath.Join(gitDir, "packed-refs"))
+		if err != nil {
+			return ""
+		}
+		for _, line := range strings.Split(string(packed), "\n") {
+			sha, name, found := strings.Cut(strings.TrimSpace(line), " ")
+			if found && name == ref {
+				return sha
+			}
+		}
+		return ""
+	}
+	return head // detached HEAD holds the sha directly
+}

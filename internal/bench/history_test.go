@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func historyReport(ms float64) Report {
+	return Report{Scale: "small", Reps: 1, Tables: []Table{{
+		ID: "perf",
+		Series: []Series{
+			{Name: "median-ms", Label: "web/nulpa", Values: []float64{ms}},
+			{Name: "work-edge_visits", Label: "web/nulpa", Values: []float64{1000}},
+		},
+	}}}
+}
+
+// TestHistoryRoundTrip pins the append-only trajectory file: entries
+// accumulate across runs, survive a read-back bit-exact where it matters,
+// and the envelope carries the schema version.
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+
+	n, err := AppendHistory(path, NewHistoryEntry("perf", 4, []string{"web"}, historyReport(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("first append reports %d entries, want 1", n)
+	}
+	n, err = AppendHistory(path, NewHistoryEntry("perf", 4, []string{"web"}, historyReport(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("second append reports %d entries, want 2", n)
+	}
+
+	h, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != HistorySchema {
+		t.Errorf("envelope schema = %d, want %d", h.Schema, HistorySchema)
+	}
+	if len(h.Entries) != 2 {
+		t.Fatalf("read back %d entries, want 2", len(h.Entries))
+	}
+	e := h.Entries[1]
+	if e.Experiment != "perf" || e.SMs != 4 || e.GoVersion == "" || e.Time.IsZero() {
+		t.Errorf("entry metadata incomplete: %+v", e)
+	}
+	got := e.Report.Tables[0].Series[0].Values[0]
+	if got != 12 {
+		t.Errorf("entry 1 median = %v, want 12", got)
+	}
+}
+
+// TestReadHistoryMissingAndFuture: a missing file is an empty history (first
+// run bootstraps); a future schema is rejected, not misread.
+func TestReadHistoryMissingAndFuture(t *testing.T) {
+	dir := t.TempDir()
+	h, err := ReadHistory(filepath.Join(dir, "absent.json"))
+	if err != nil {
+		t.Fatalf("missing file: %v", err)
+	}
+	if len(h.Entries) != 0 || h.Schema != HistorySchema {
+		t.Errorf("missing file read as %+v, want empty current-schema history", h)
+	}
+
+	future := filepath.Join(dir, "future.json")
+	data, _ := json.Marshal(History{Schema: HistorySchema + 1})
+	if err := os.WriteFile(future, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHistory(future); err == nil {
+		t.Error("future-schema history read without error")
+	}
+	if _, err := AppendHistory(future, HistoryEntry{}); err == nil {
+		t.Error("append to future-schema history did not fail")
+	}
+}
+
+func TestDefaultHistoryPath(t *testing.T) {
+	p := DefaultHistoryPath()
+	if !strings.HasPrefix(p, "BENCH_") || !strings.HasSuffix(p, ".json") {
+		t.Errorf("DefaultHistoryPath() = %q, want BENCH_<host>.json", p)
+	}
+	if strings.ContainsAny(p, "/\\: ") {
+		t.Errorf("DefaultHistoryPath() = %q contains path-hostile characters", p)
+	}
+}
+
+// TestGitSHA runs inside the repository checkout, so a sha must resolve.
+func TestGitSHA(t *testing.T) {
+	sha := GitSHA()
+	if sha == "" {
+		t.Skip("not running inside a git checkout")
+	}
+	if len(sha) != 40 {
+		t.Errorf("GitSHA() = %q, want a 40-hex commit id", sha)
+	}
+}

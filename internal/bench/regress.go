@@ -62,6 +62,11 @@ func Perf(cfg Config) []Table {
 				Label:  name + "/" + m,
 				Values: []float64{ms},
 			})
+			// Work capture: one additional instrumented run. Timed reps stay
+			// unprofiled so the medians remain comparable with pre-existing
+			// baselines; counters are deterministic enough that one profiled
+			// run is representative.
+			tbl.Series = append(tbl.Series, workSeries(g, det, opt, name, m)...)
 			cfg.progressf("perf %s %s: median %v over %d reps\n", name, m, med, cfg.Reps)
 		}
 		tbl.Rows = append(tbl.Rows, row)

@@ -21,9 +21,9 @@ func TestCompareReports(t *testing.T) {
 		"road/nulpa": 20,
 	})
 	cur := report(map[string]float64{
-		"web/nulpa":  25, // 2.5× — regressed
-		"web/flpa":   4.2,
-		"only/here":  1, // unmatched: skipped
+		"web/nulpa": 25, // 2.5× — regressed
+		"web/flpa":  4.2,
+		"only/here": 1, // unmatched: skipped
 	})
 	cs := CompareReports(base, cur)
 	if len(cs) != 2 {
@@ -86,12 +86,32 @@ func TestPerfExperimentShape(t *testing.T) {
 	if len(tables) != 1 || tables[0].ID != "perf" {
 		t.Fatalf("Perf returned %+v", tables)
 	}
-	if want := len(perfMethods); len(tables[0].Series) != want {
-		t.Fatalf("got %d series, want %d", len(tables[0].Series), want)
+	// Each method cell carries one median-ms series plus the work-accounting
+	// series (run totals, frontier occupancy, per-kernel counters/timings).
+	byName := map[string]int{}
+	for _, s := range tables[0].Series {
+		byName[s.Name]++
+		if len(s.Values) != 1 {
+			t.Errorf("series %s/%s has %d values, want 1", s.Name, s.Label, len(s.Values))
+		}
+	}
+	if byName["median-ms"] != len(perfMethods) {
+		t.Fatalf("got %d median-ms series, want %d (all: %v)",
+			byName["median-ms"], len(perfMethods), byName)
+	}
+	for _, name := range []string{"work-edge_visits", "work-label_flips", "work-active_vertices", "work-frontier_occupancy"} {
+		if byName[name] != len(perfMethods) {
+			t.Errorf("got %d %s series, want %d", byName[name], name, len(perfMethods))
+		}
+	}
+	// The simt backend reports per-kernel work; at least its kernels must
+	// surface kernelwork-* and kernel-ms series.
+	if byName["kernel-ms"] == 0 || byName["kernelwork-edge_visits"] == 0 {
+		t.Errorf("no per-kernel series captured: %v", byName)
 	}
 	for _, s := range tables[0].Series {
-		if s.Name != "median-ms" || len(s.Values) != 1 || s.Values[0] <= 0 {
-			t.Errorf("bad series %+v", s)
+		if s.Name == "median-ms" && s.Values[0] <= 0 {
+			t.Errorf("bad median series %+v", s)
 		}
 	}
 }

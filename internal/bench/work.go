@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"time"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+	"nulpa/internal/telemetry"
+)
+
+// Work-counter capture for the perf experiment. One instrumented run per
+// (graph, method) cell attaches:
+//
+//	work-<counter>        label "graph/method"          run totals
+//	work-frontier_occupancy  label "graph/method"       active/(iters·|V|)
+//	kernelwork-<counter>  label "graph/method/kernel"   per-kernel totals
+//	kernel-ms             label "graph/method/kernel"   per-kernel wall time
+//
+// perfdiff compares any numeric series pair, so every family added here is
+// automatically part of the differential attribution report.
+
+func workSeries(g *graph.CSR, det engine.Detector, opt engine.Options, graphName, method string) []Series {
+	rec := telemetry.NewRecorder()
+	opt.Profiler = rec
+	res, err := det.Detect(g, opt)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	label := graphName + "/" + method
+	work := telemetry.TotalWork(res.Trace)
+	var out []Series
+	for _, c := range telemetry.WorkCounterNames {
+		out = append(out, Series{
+			Name:   "work-" + c,
+			Label:  label,
+			Values: []float64{float64(work.Get(c))},
+		})
+	}
+	if n, it := g.NumVertices(), res.Iterations; n > 0 && it > 0 {
+		out = append(out, Series{
+			Name:   "work-frontier_occupancy",
+			Label:  label,
+			Values: []float64{float64(work.ActiveVertices) / (float64(it) * float64(n))},
+		})
+	}
+	for _, ks := range rec.KernelSummaries() {
+		kLabel := label + "/" + ks.Kernel
+		out = append(out, Series{
+			Name:   "kernel-ms",
+			Label:  kLabel,
+			Values: []float64{float64(ks.Total) / float64(time.Millisecond)},
+		})
+		if ks.Work.IsZero() {
+			continue
+		}
+		for _, c := range telemetry.WorkCounterNames {
+			out = append(out, Series{
+				Name:   "kernelwork-" + c,
+				Label:  kLabel,
+				Values: []float64{float64(ks.Work.Get(c))},
+			})
+		}
+	}
+	return out
+}

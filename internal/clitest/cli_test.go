@@ -34,6 +34,9 @@ func TestMain(m *testing.M) {
 func run(t *testing.T, tool string, args ...string) (string, error) {
 	t.Helper()
 	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	// Run from a scratch directory so tools that write relative to the cwd
+	// by default (bench's per-host history file) never litter the repo tree.
+	cmd.Dir = t.TempDir()
 	out, err := cmd.CombinedOutput()
 	return string(out), err
 }

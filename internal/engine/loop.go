@@ -100,6 +100,12 @@ func Loop(cfg LoopConfig, body func(ctx context.Context, iter int) IterOutcome) 
 			if rec.Reverts > 0 {
 				ispan.SetInt("reverts", rec.Reverts)
 			}
+			if rec.EdgeVisits > 0 {
+				ispan.SetInt("edgeVisits", rec.EdgeVisits)
+			}
+			if rec.ActiveVertices > 0 {
+				ispan.SetInt("activeVertices", rec.ActiveVertices)
+			}
 			if rec.PickLess {
 				ispan.SetBool("pickLess", true)
 			}

@@ -7,6 +7,7 @@ import (
 
 	"nulpa/internal/graph"
 	"nulpa/internal/metrics"
+	"nulpa/internal/telemetry"
 	"nulpa/internal/trace"
 )
 
@@ -39,6 +40,23 @@ var (
 		"Convergence loops ended early by cancellation or deadline expiry.")
 	mRunsCanceled = metrics.NewCounterVec("engine_runs_canceled_total",
 		"Detect calls ended by cancellation or deadline, per detector.", "detector")
+
+	// Run-grained work accounting, summed from the result trace after every
+	// Detect call — detector-labelled so the families cover FLPA (which
+	// bypasses Loop) and both nulpa backends through the same seam. The
+	// per-kernel view lives in the nulpa_work_* families (simt).
+	mWorkEdgeVisits = metrics.NewCounterVec("engine_work_edge_visits_total",
+		"Edge (arc) inspections summed over completed runs, per detector.", "detector")
+	mWorkLabelFlips = metrics.NewCounterVec("engine_work_label_flips_total",
+		"Gross label changes summed over completed runs, per detector.", "detector")
+	mWorkHashProbes = metrics.NewCounterVec("engine_work_hash_probes_total",
+		"Hashtable slot probes summed over completed runs, per detector.", "detector")
+	mWorkHashCollisions = metrics.NewCounterVec("engine_work_hash_collisions_total",
+		"Hashtable probe collisions summed over completed runs, per detector.", "detector")
+	mWorkActive = metrics.NewCounterVec("engine_work_active_vertices_total",
+		"Vertices processed summed over completed runs, per detector.", "detector")
+	mFrontierOccupancy = metrics.NewGaugeVec("engine_frontier_occupancy",
+		"Mean fraction of vertices active per iteration in the most recent run, per detector.", "detector")
 )
 
 // instrumented decorates a Detector with the run-grained metric families and
@@ -90,6 +108,19 @@ func (w instrumented) Detect(g *graph.CSR, opt Options) (*Result, error) {
 		span.SetInt("iterations", int64(res.Iterations))
 		span.SetInt("communities", int64(res.Communities))
 		span.SetBool("converged", res.Converged)
+		if work := telemetry.TotalWork(res.Trace); !work.IsZero() {
+			mWorkEdgeVisits.With(name).Add(work.EdgeVisits)
+			mWorkLabelFlips.With(name).Add(work.LabelFlips)
+			mWorkHashProbes.With(name).Add(work.HashProbes)
+			mWorkHashCollisions.With(name).Add(work.HashCollisions)
+			mWorkActive.With(name).Add(work.ActiveVertices)
+			span.SetInt("edgeVisits", work.EdgeVisits)
+			span.SetInt("activeVertices", work.ActiveVertices)
+			if n, it := g.NumVertices(), res.Iterations; n > 0 && it > 0 {
+				mFrontierOccupancy.With(name).Set(
+					float64(work.ActiveVertices) / (float64(it) * float64(n)))
+			}
+		}
 	}
 	span.End()
 	mRuns.With(name).Inc()

@@ -87,7 +87,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 	res := &Result{}
 	genEnd := len(queue)
 	genStart := start
-	var genMoves, genSteps int64
+	var genMoves, genSteps, genEdges int64
 	flushGen := func() {
 		if genSteps == 0 {
 			return
@@ -97,12 +97,16 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 			Moves:    genMoves,
 			DeltaN:   genMoves,
 			Duration: time.Since(genStart),
+			// Queue pops are FLPA's active-vertex count; every pop scans
+			// its full neighbourhood (and again on a move, for re-enqueue).
+			EdgeVisits:     genEdges,
+			ActiveVertices: genSteps,
 		}
 		if opt.Profiler != nil {
 			opt.Profiler.RecordIteration(rec)
 		}
 		res.Trace = append(res.Trace, rec)
-		genMoves, genSteps = 0, 0
+		genMoves, genSteps, genEdges = 0, 0, 0
 		genStart = time.Now()
 	}
 	for head < len(queue) {
@@ -131,6 +135,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		}
 
 		ts, ws := g.Neighbors(u)
+		genEdges += int64(len(ts))
 		clear(acc)
 		for k, v := range ts {
 			if v == u {
@@ -179,6 +184,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		}
 		labels[u] = newLabel
 		genMoves++
+		genEdges += int64(len(ts)) // re-enqueue scan
 		// Re-enqueue neighbours not sharing the new community.
 		for _, v := range ts {
 			if v == u || labels[v] == newLabel || inQueue[v] {

@@ -74,7 +74,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(_ context.Context, iter int) engine.IterOutcome {
-		var changed int64
+		var changed, edges, visited int64
 		var cursor int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -82,7 +82,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				acc := make(map[uint32]float64)
-				var local int64
+				var local, localEdges, localActive int64
 				for {
 					c := atomic.AddInt64(&cursor, chunk) - chunk
 					if c >= int64(n) {
@@ -99,6 +99,8 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 							next[v] = cur[v]
 							continue
 						}
+						localEdges += int64(len(ts))
+						localActive++
 						clear(acc)
 						for k, j := range ts {
 							if j == u {
@@ -121,11 +123,16 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 				if local != 0 {
 					atomic.AddInt64(&changed, local)
 				}
+				atomic.AddInt64(&edges, localEdges)
+				atomic.AddInt64(&visited, localActive)
 			}()
 		}
 		wg.Wait()
 		cur, next = next, cur
-		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: changed, DeltaN: changed}}
+		return engine.IterOutcome{Record: telemetry.IterRecord{
+			Moves: changed, DeltaN: changed,
+			EdgeVisits: edges, ActiveVertices: visited,
+		}}
 	})
 	if lr.Err != nil {
 		return nil, lr.Err

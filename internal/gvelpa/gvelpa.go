@@ -133,7 +133,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(_ context.Context, iter int) engine.IterOutcome {
-		var changed int64
+		var changed, edges, visited int64
 		var cursor int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -141,7 +141,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 			go func(w int) {
 				defer wg.Done()
 				tbl := tables[w]
-				var local int64
+				var local, localEdges, localActive int64
 				for {
 					c := atomic.AddInt64(&cursor, chunk) - chunk
 					if c >= int64(n) {
@@ -161,6 +161,8 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 							continue
 						}
 						atomic.StoreUint32(&processed[v], 1)
+						localEdges += int64(len(ts))
+						localActive++
 						tbl.clear()
 						for k, j := range ts {
 							if j == u {
@@ -174,6 +176,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 						}
 						atomic.StoreUint32(&labels[v], best)
 						local++
+						localEdges += int64(len(ts)) // wake-up scan
 						for _, j := range ts {
 							atomic.StoreUint32(&processed[j], 0)
 						}
@@ -182,10 +185,15 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 				if local != 0 {
 					atomic.AddInt64(&changed, local)
 				}
+				atomic.AddInt64(&edges, localEdges)
+				atomic.AddInt64(&visited, localActive)
 			}(w)
 		}
 		wg.Wait()
-		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: changed, DeltaN: changed}}
+		return engine.IterOutcome{Record: telemetry.IterRecord{
+			Moves: changed, DeltaN: changed,
+			EdgeVisits: edges, ActiveVertices: visited,
+		}}
 	})
 	if lr.Err != nil {
 		return nil, lr.Err

@@ -1,0 +1,62 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"testing"
+
+	"nulpa/internal/metrics"
+)
+
+// TestDebugPerfSnapshot pins the /debug/perf capture contract: a
+// schema-versioned envelope of flattened metric samples — the exact shape
+// perfdiff loads — with ?prefix narrowing the sample set.
+func TestDebugPerfSnapshot(t *testing.T) {
+	// Ensure at least one known family exists with a value.
+	metrics.NewCounterVec("httpapi_perf_test_total", "test family", "k").With("a").Add(3)
+
+	ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/debug/perf")
+	if code != 200 {
+		t.Fatalf("GET /debug/perf = %d: %s", code, body)
+	}
+	var snap struct {
+		Schema   int `json:"schema"`
+		Time     string
+		Counters []struct {
+			Name  string  `json:"name"`
+			Label string  `json:"label"`
+			Value float64 `json:"value"`
+			Kind  string  `json:"kind"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("parse snapshot: %v", err)
+	}
+	if snap.Schema != 1 {
+		t.Errorf("schema = %d, want 1", snap.Schema)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "httpapi_perf_test_total" && c.Label == "a" {
+			found = true
+			if c.Value < 3 || c.Kind != "counter" {
+				t.Errorf("sample = %+v, want value >= 3, kind counter", c)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("snapshot (%d samples) missing httpapi_perf_test_total{a}", len(snap.Counters))
+	}
+
+	// Prefix filter keeps only matching names.
+	code, body = get(t, ts.URL+"/debug/perf?prefix=httpapi_perf_test_")
+	if code != 200 {
+		t.Fatalf("GET /debug/perf?prefix = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "httpapi_perf_test_total" {
+		t.Errorf("prefix filter returned %+v, want only httpapi_perf_test_total", snap.Counters)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"nulpa/internal/engine"
@@ -77,6 +78,7 @@ func NewServer(opts ...Option) *Server {
 	s.handle("GET /jobs", "jobs-list", s.listJobs)
 	s.handle("GET /jobs/{id}", "jobs-get", s.getJob)
 	s.handle("DELETE /jobs/{id}", "jobs-cancel", s.cancelJob)
+	s.handle("GET /debug/perf", "perf-snapshot", s.perfSnapshot)
 	s.handle("GET /debug/trace", "trace-list", s.listTraces)
 	s.handle("GET /debug/trace/{id}", "trace-get", s.getTrace)
 	s.handle("GET /debug/trace/{id}/chrome", "trace-chrome", s.getTraceChrome)
@@ -171,6 +173,29 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) vars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	metrics.Default().WriteJSON(w)
+}
+
+// perfSnapshot handles GET /debug/perf: the flattened metrics registry as a
+// schema-versioned JSON capture that `perfdiff` accepts directly — snapshot
+// before and after a workload, diff the pair, and the report names the
+// kernels and work counters that moved. ?prefix= narrows the sample set
+// (e.g. ?prefix=nulpa_work_ for just the kernel work counters).
+func (s *Server) perfSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := metrics.Default().Snapshot()
+	if prefix := r.URL.Query().Get("prefix"); prefix != "" {
+		kept := snap[:0]
+		for _, mv := range snap {
+			if strings.HasPrefix(mv.Name, prefix) {
+				kept = append(kept, mv)
+			}
+		}
+		snap = kept
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema":   1,
+		"time":     time.Now().UTC(),
+		"counters": snap,
+	})
 }
 
 func (s *Server) algos(w http.ResponseWriter, r *http.Request) {

@@ -110,7 +110,13 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 			comm, moves, sweeps = localMove(work, opt)
 		}
 		res.Iterations += sweeps
-		out := engine.IterOutcome{Record: telemetry.IterRecord{Moves: moves, DeltaN: moves}}
+		// Work accounting: every local-moving sweep scans the level graph's
+		// full adjacency once, and aggregation (below) scans it once more.
+		out := engine.IterOutcome{Record: telemetry.IterRecord{
+			Moves: moves, DeltaN: moves,
+			EdgeVisits:     int64(sweeps) * work.NumArcs(),
+			ActiveVertices: int64(sweeps) * int64(work.NumVertices()),
+		}}
 		if moves == 0 {
 			return out
 		}
@@ -123,6 +129,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 			out.Stop = true // no contraction possible; fixed point
 			return out
 		}
+		out.Record.EdgeVisits += work.NumArcs() // aggregation scan
 		work = aggregate(work, comm, numComm)
 		return out
 	})

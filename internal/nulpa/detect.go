@@ -102,6 +102,32 @@ type runState struct {
 	noPrune   bool  // DisablePruning: skip the processed-flag fast path
 	deltaN    int64 // atomic: label changes this iteration
 	reverts   int64 // atomic: Cross-Check reverts this iteration
+
+	// Work accounting. countWork gates the kernels' counter updates — set
+	// when the device profiler consumes work counters (simt.WantsWork).
+	// stats is the hashtable probe source for per-kernel attribution;
+	// lastHash is the snapshot at the previous kernel drain (kernel
+	// launches within a run are serialized, so a plain field suffices).
+	// iterEdges/iterActive accumulate the iteration's totals for the
+	// IterRecord: the simt backend adds from TakeWork on the launching
+	// goroutine, the direct backend adds worker-local sums atomically.
+	countWork  bool
+	stats      *hashtable.Stats
+	lastHash   hashtable.StatsSnapshot
+	iterEdges  int64
+	iterActive int64
+}
+
+// takeHashWork drains the hashtable probe/collision deltas since the last
+// kernel drain — the per-kernel attribution of the arena's shared stats.
+func (st *runState) takeHashWork() (probes, collisions int64) {
+	if st.stats == nil {
+		return 0, 0
+	}
+	cur := st.stats.Snapshot()
+	d := cur.Sub(st.lastHash)
+	st.lastHash = cur
+	return d.Probes, d.Collisions
 }
 
 func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
@@ -131,6 +157,14 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 	if opt.TrackStats {
 		res.HashStats = &hashtable.Stats{}
 		st.arena.attachStats(res.HashStats)
+	}
+	st.countWork = simt.WantsWork(dev.Prof)
+	st.stats = res.HashStats
+	if st.countWork && st.stats == nil {
+		// Work counters want per-kernel probe attribution even when the
+		// caller did not ask for the Result-level stats.
+		st.stats = &hashtable.Stats{}
+		st.arena.attachStats(st.stats)
 	}
 
 	st.labels = make([]uint32, n)
@@ -198,6 +232,7 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 		for attempt := 0; ; attempt++ {
 			atomic.StoreInt64(&st.deltaN, 0)
 			atomic.StoreInt64(&st.reverts, 0)
+			st.iterEdges, st.iterActive = 0, 0
 			if crosscheck {
 				copy(st.prev, st.labels)
 			}
@@ -281,17 +316,19 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 		res.Reverts += reverts
 		res.DeltaHistory = append(res.DeltaHistory, delta)
 		rec := IterStat{
-			PickLess:     st.pickless,
-			CrossCheck:   crosscheck,
-			Moves:        gross,
-			Reverts:      reverts,
-			DeltaN:       delta,
-			Pruned:       pruned,
-			Retries:      retries,
-			ThreadKernel: tkDur,
-			BlockKernel:  bkDur,
-			CrossKernel:  ckDur,
-			CASRetries:   simt.ContentionSnapshot().Sub(casBase).Total(),
+			PickLess:       st.pickless,
+			CrossCheck:     crosscheck,
+			Moves:          gross,
+			Reverts:        reverts,
+			DeltaN:         delta,
+			Pruned:         pruned,
+			Retries:        retries,
+			ThreadKernel:   tkDur,
+			BlockKernel:    bkDur,
+			CrossKernel:    ckDur,
+			CASRetries:     simt.ContentionSnapshot().Sub(casBase).Total(),
+			EdgeVisits:     st.iterEdges,
+			ActiveVertices: st.iterActive,
 		}
 		if res.HashStats != nil {
 			d := res.HashStats.Snapshot().Sub(hashBase)
@@ -391,12 +428,23 @@ type threadKernel struct {
 	*runState
 	list []graph.Vertex
 	cand []uint32
+	work simt.WorkAccum
 }
 
 func (k *threadKernel) NumPhases() int { return 2 }
 
 // KernelName implements simt.NamedKernel for profiling.
 func (k *threadKernel) KernelName() string { return "thread-per-vertex" }
+
+// TakeWork implements simt.WorkReportingKernel, draining the launch's work
+// counters; hashtable probes are attributed from the arena stats delta.
+func (k *threadKernel) TakeWork() (edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices int64) {
+	ev, lf, _, _, av := k.work.Take()
+	hp, hc := k.takeHashWork()
+	k.iterEdges += ev
+	k.iterActive += av
+	return ev, lf, hp, hc, av
+}
 
 func (k *threadKernel) Phase(p int, t *simt.Thread) {
 	gid := t.GlobalID()
@@ -414,6 +462,10 @@ func (k *threadKernel) Phase(p int, t *simt.Thread) {
 			simt.AtomicStoreUint32(k.processed, int(i), 1)
 		}
 		deg := k.g.Degree(i)
+		if k.countWork {
+			k.work.ActiveVertices.Add(1)
+			k.work.EdgeVisits.Add(int64(deg))
+		}
 		tb := k.arena.tableFor(k.g.Offset(i), deg)
 		tb.clear(0, 1)
 		ts, ws := k.g.Neighbors(i)
@@ -442,6 +494,10 @@ func (k *threadKernel) Phase(p int, t *simt.Thread) {
 		for _, j := range ts {
 			simt.AtomicStoreUint32(k.processed, int(j), 0)
 		}
+		if k.countWork {
+			k.work.LabelFlips.Add(1)
+			k.work.EdgeVisits.Add(int64(len(ts))) // neighbour wake-up scan
+		}
 	}
 }
 
@@ -456,6 +512,7 @@ type blockKernel struct {
 	*runState
 	list     []graph.Vertex
 	blockDim int
+	work     simt.WorkAccum
 }
 
 func (k *blockKernel) NumPhases() int     { return 6 }
@@ -463,6 +520,15 @@ func (k *blockKernel) SharedUint64s() int { return 2 + 2*k.blockDim }
 
 // KernelName implements simt.NamedKernel for profiling.
 func (k *blockKernel) KernelName() string { return "block-per-vertex" }
+
+// TakeWork implements simt.WorkReportingKernel; see threadKernel.TakeWork.
+func (k *blockKernel) TakeWork() (edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices int64) {
+	ev, lf, _, _, av := k.work.Take()
+	hp, hc := k.takeHashWork()
+	k.iterEdges += ev
+	k.iterActive += av
+	return ev, lf, hp, hc, av
+}
 
 func (k *blockKernel) Phase(p int, t *simt.Thread) {
 	if t.Block >= len(k.list) {
@@ -482,6 +548,10 @@ func (k *blockKernel) Phase(p int, t *simt.Thread) {
 			simt.AtomicStoreUint32(k.processed, int(i), 1)
 		} else {
 			t.Shared[0] = 0
+		}
+		if k.countWork {
+			k.work.ActiveVertices.Add(1)
+			k.work.EdgeVisits.Add(int64(k.g.Degree(i)))
 		}
 	case 1: // strided hashtable clear
 		if t.Shared[0] == 1 {
@@ -545,6 +615,12 @@ func (k *blockKernel) Phase(p int, t *simt.Thread) {
 		simt.AtomicStoreUint32(k.labels, int(i), c)
 		atomic.AddInt64(&k.deltaN, 1)
 		t.Shared[1] = 1
+		if k.countWork {
+			k.work.LabelFlips.Add(1)
+			// Phase 5's strided wake-up scans the full neighbourhood;
+			// counted here once rather than per lane.
+			k.work.EdgeVisits.Add(int64(k.g.Degree(i)))
+		}
 	case 5: // strided neighbour wake-up on move
 		if t.Shared[0] == 1 || t.Shared[1] == 0 {
 			return
@@ -565,12 +641,25 @@ func (k *blockKernel) Phase(p int, t *simt.Thread) {
 // asymmetry arises from asynchronous SM execution.
 type crossCheckKernel struct {
 	*runState
+	work simt.WorkAccum
 }
 
 func (k *crossCheckKernel) NumPhases() int { return 1 }
 
 // KernelName implements simt.NamedKernel for profiling.
 func (k *crossCheckKernel) KernelName() string { return "cross-check" }
+
+// TakeWork implements simt.WorkReportingKernel: every vertex is inspected
+// (one leader lookup each, counted as active), and a revert is a label flip
+// back. The kernel does not touch the hashtable, so the probe delta it
+// drains is ~0 and keeps the per-kernel ledger exhaustive.
+func (k *crossCheckKernel) TakeWork() (edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices int64) {
+	ev, lf, _, _, av := k.work.Take()
+	hp, hc := k.takeHashWork()
+	k.iterEdges += ev
+	k.iterActive += av
+	return ev, lf, hp, hc, av
+}
 
 func (k *crossCheckKernel) Phase(_ int, t *simt.Thread) {
 	i := t.GlobalID()
@@ -587,5 +676,8 @@ func (k *crossCheckKernel) Phase(_ int, t *simt.Thread) {
 		atomic.AddInt64(&k.reverts, 1)
 		// The vertex changed again; let its neighbourhood reconsider.
 		simt.AtomicStoreUint32(k.processed, i, 0)
+		if k.countWork {
+			k.work.LabelFlips.Add(1)
+		}
 	}
 }

@@ -53,6 +53,8 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 		crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
 		atomic.StoreInt64(&st.deltaN, 0)
 		atomic.StoreInt64(&st.reverts, 0)
+		atomic.StoreInt64(&st.iterEdges, 0)
+		atomic.StoreInt64(&st.iterActive, 0)
 		if crosscheck {
 			copy(st.prev, st.labels)
 		}
@@ -69,7 +71,7 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				cand := make([]uint32, chunk)
-				var local int64
+				var local, edges, active int64
 				for {
 					c := atomic.AddInt64(&cursor, chunk) - chunk
 					if c >= int64(n) {
@@ -85,15 +87,23 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 					// sweeps would let Pick-Less iterations cascade one
 					// small label across a community in a single pass.
 					for v := c; v < hi; v++ {
-						cand[v-c] = candidateDirect(st, graph.Vertex(v))
+						var e int64
+						cand[v-c], e = candidateDirect(st, graph.Vertex(v))
+						if e > 0 {
+							edges += e
+							active++
+						}
 					}
 					for v := c; v < hi; v++ {
 						if applyMoveDirect(st, graph.Vertex(v), cand[v-c]) {
 							local++
+							edges += int64(st.g.Degree(graph.Vertex(v))) // wake scan
 						}
 					}
 				}
 				atomic.AddInt64(&st.deltaN, local)
+				atomic.AddInt64(&st.iterEdges, edges)
+				atomic.AddInt64(&st.iterActive, active)
 			}()
 		}
 		wg.Wait()
@@ -109,12 +119,14 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 		res.Reverts += reverts
 		res.DeltaHistory = append(res.DeltaHistory, delta)
 		rec := IterStat{
-			PickLess:   st.pickless,
-			CrossCheck: crosscheck,
-			Moves:      gross,
-			Reverts:    reverts,
-			DeltaN:     delta,
-			Pruned:     pruned,
+			PickLess:       st.pickless,
+			CrossCheck:     crosscheck,
+			Moves:          gross,
+			Reverts:        reverts,
+			DeltaN:         delta,
+			Pruned:         pruned,
+			EdgeVisits:     atomic.LoadInt64(&st.iterEdges),
+			ActiveVertices: atomic.LoadInt64(&st.iterActive),
 		}
 		if res.HashStats != nil {
 			d := res.HashStats.Snapshot().Sub(hashBase)
@@ -141,14 +153,16 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 }
 
 // candidateDirect computes a vertex's most weighted neighbouring label, or
-// hashtable.EmptyKey when the vertex is skipped (pruned or isolated).
-func candidateDirect(st *runState, i graph.Vertex) uint32 {
+// hashtable.EmptyKey when the vertex is skipped (pruned or isolated). The
+// second return is the number of edges scanned — zero exactly when the
+// vertex was skipped, which doubles as the active-vertex signal.
+func candidateDirect(st *runState, i graph.Vertex) (uint32, int64) {
 	if !st.noPrune && simt.AtomicLoadUint32(st.processed, int(i)) == 1 {
-		return hashtable.EmptyKey
+		return hashtable.EmptyKey, 0
 	}
 	deg := st.g.Degree(i)
 	if deg == 0 {
-		return hashtable.EmptyKey
+		return hashtable.EmptyKey, 0
 	}
 	if !st.noPrune {
 		simt.AtomicStoreUint32(st.processed, int(i), 1)
@@ -165,9 +179,9 @@ func candidateDirect(st *runState, i graph.Vertex) uint32 {
 	}
 	c, _, ok := tb.best()
 	if !ok {
-		return hashtable.EmptyKey
+		return hashtable.EmptyKey, int64(deg)
 	}
-	return c
+	return c, int64(deg)
 }
 
 // applyMoveDirect commits a candidate move under the Pick-Less rule and

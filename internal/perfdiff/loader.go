@@ -1,0 +1,151 @@
+package perfdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nulpa/internal/bench"
+	"nulpa/internal/metrics"
+)
+
+// Capture loading. Three on-disk shapes are accepted and sniffed by their
+// top-level keys:
+//
+//	bench report    {"tables": [...]}                   (cmd/bench -json)
+//	bench history   {"schema": 1, "entries": [...]}     (cmd/bench -history)
+//	perf snapshot   {"schema": 1, "counters": [...]}    (GET /debug/perf)
+//
+// Snapshots are converted to a pseudo-Report (one table, one series per
+// metric sample) so Compare stays a single code path.
+
+// SnapshotSchema versions the /debug/perf JSON envelope.
+const SnapshotSchema = 1
+
+// Snapshot is the /debug/perf capture: the flattened metrics registry at one
+// instant.
+type Snapshot struct {
+	Schema   int                   `json:"schema"`
+	Time     time.Time             `json:"time"`
+	Counters []metrics.MetricValue `json:"counters"`
+}
+
+// SnapshotReport converts a metrics snapshot into a pseudo bench Report so
+// two snapshots (or a snapshot and itself later in a run) can go through
+// Compare. Table id "metrics"; series name = metric name, label = label value.
+func SnapshotReport(s Snapshot) bench.Report {
+	t := bench.Table{ID: "metrics", Title: "Metrics snapshot"}
+	for _, mv := range s.Counters {
+		t.Series = append(t.Series, bench.Series{
+			Name:   mv.Name,
+			Label:  mv.Label,
+			Values: []float64{mv.Value},
+		})
+	}
+	return bench.Report{Tables: []bench.Table{t}}
+}
+
+// sniff is the minimal union of the three capture shapes.
+type sniff struct {
+	Tables   []json.RawMessage `json:"tables"`
+	Entries  []json.RawMessage `json:"entries"`
+	Counters []json.RawMessage `json:"counters"`
+	Schema   int               `json:"schema"`
+}
+
+// LoadCapture reads one capture file and returns it as a Report plus a short
+// description of what was loaded. entry selects which history entry to use
+// when the file is a history envelope: 0..n-1 from the start, negative from
+// the end (-1 = most recent). It is ignored for the other shapes.
+func LoadCapture(path string, entry int) (bench.Report, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bench.Report{}, "", err
+	}
+	var s sniff
+	if err := json.Unmarshal(data, &s); err != nil {
+		return bench.Report{}, "", fmt.Errorf("perfdiff: parse %s: %w", path, err)
+	}
+	switch {
+	case s.Entries != nil:
+		var h bench.History
+		if err := json.Unmarshal(data, &h); err != nil {
+			return bench.Report{}, "", fmt.Errorf("perfdiff: parse history %s: %w", path, err)
+		}
+		if h.Schema > bench.HistorySchema {
+			return bench.Report{}, "", fmt.Errorf("perfdiff: history %s has schema %d, newer than supported %d",
+				path, h.Schema, bench.HistorySchema)
+		}
+		n := len(h.Entries)
+		if n == 0 {
+			return bench.Report{}, "", fmt.Errorf("perfdiff: history %s has no entries", path)
+		}
+		i := entry
+		if i < 0 {
+			i += n
+		}
+		if i < 0 || i >= n {
+			return bench.Report{}, "", fmt.Errorf("perfdiff: history %s: entry %d out of range (%d entries)", path, entry, n)
+		}
+		e := h.Entries[i]
+		desc := fmt.Sprintf("%s entry %d/%d (%s", path, i+1, n, e.Time.Format(time.RFC3339))
+		if e.GitSHA != "" {
+			desc += " @ " + shortSHA(e.GitSHA)
+		}
+		desc += ")"
+		return e.Report, desc, nil
+	case s.Counters != nil:
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return bench.Report{}, "", fmt.Errorf("perfdiff: parse snapshot %s: %w", path, err)
+		}
+		if snap.Schema > SnapshotSchema {
+			return bench.Report{}, "", fmt.Errorf("perfdiff: snapshot %s has schema %d, newer than supported %d",
+				path, snap.Schema, SnapshotSchema)
+		}
+		return SnapshotReport(snap), fmt.Sprintf("%s (metrics snapshot, %d samples)", path, len(snap.Counters)), nil
+	case s.Tables != nil:
+		r, err := bench.ReadReport(path)
+		if err != nil {
+			return bench.Report{}, "", err
+		}
+		return r, fmt.Sprintf("%s (bench report)", path), nil
+	default:
+		return bench.Report{}, "", fmt.Errorf("perfdiff: %s is not a bench report, history file, or metrics snapshot", path)
+	}
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+// WriteChromeTrace emits the report as Chrome trace-event counter tracks
+// (load in chrome://tracing or Perfetto): each cell becomes a counter series
+// with two samples, the base value at t=0µs and the current value at t=1µs,
+// so the slope of every track IS the delta.
+func (r Report) WriteChromeTrace(w io.Writer) error {
+	type event struct {
+		Name string             `json:"name"`
+		Ph   string             `json:"ph"`
+		Ts   int64              `json:"ts"`
+		Pid  int                `json:"pid"`
+		Tid  int                `json:"tid"`
+		Args map[string]float64 `json:"args"`
+	}
+	events := make([]event, 0, 2*len(r.Cells))
+	for _, c := range r.Cells {
+		name := c.Metric + " " + c.Label
+		events = append(events,
+			event{Name: name, Ph: "C", Ts: 0, Args: map[string]float64{"value": c.Base}},
+			event{Name: name, Ph: "C", Ts: 1, Args: map[string]float64{"value": c.Current}},
+		)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

@@ -1,0 +1,236 @@
+// Package perfdiff is the differential perf-attribution tool: it takes two
+// bench/profile captures and reports, per kernel and per counter, what
+// changed — so a regression gate failure (or a win) names the kernels and
+// work counters responsible instead of a bare wall-clock ratio.
+//
+// A capture is a bench Report (the JSON `cmd/bench -json` writes), a bench
+// history file (any entry), or a /debug/perf metrics snapshot; LoadCapture
+// sniffs the format. Every numeric series in the pair is compared by
+// (table id, series name, label), so the report automatically covers
+// median-ms timings, work-* run totals, kernelwork-* per-kernel counters and
+// kernel-ms per-kernel timings — and any series a future experiment adds.
+package perfdiff
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"nulpa/internal/bench"
+)
+
+// Cell is one compared series value: the same metric and label in both
+// captures, with the delta and ratio.
+type Cell struct {
+	// Metric is the series name, e.g. "median-ms", "work-edge_visits",
+	// "kernelwork-hash_probes".
+	Metric string `json:"metric"`
+	// Label is the series label, "graph/method" or "graph/method/kernel".
+	Label string `json:"label"`
+	// Kernel is the kernel component of the label when present (per-kernel
+	// series), empty for run-grained series.
+	Kernel string `json:"kernel,omitempty"`
+	// Counter is the work-counter name for work-*/kernelwork-* series,
+	// empty for timing series.
+	Counter string `json:"counter,omitempty"`
+	// Base and Current are the two values.
+	Base    float64 `json:"base"`
+	Current float64 `json:"current"`
+	// Delta is Current - Base.
+	Delta float64 `json:"delta"`
+	// Ratio is Current / Base — 1 when both are zero, 0 when New (a ratio
+	// against a zero base is meaningless; New marks those cells instead, so
+	// the JSON stays free of non-finite numbers).
+	Ratio float64 `json:"ratio"`
+	// New marks a cell whose base is zero but whose current value is not —
+	// a counter or kernel that appeared between the captures.
+	New bool `json:"new,omitempty"`
+}
+
+// Regressed reports whether the cell grew beyond threshold (ratio > threshold).
+// Appeared cells are not regressions: a baseline without work series must not
+// fail the gate the first time counters show up.
+func (c Cell) Regressed(threshold float64) bool { return !c.New && c.Ratio > threshold }
+
+// severity orders cells by how loudly they changed: |log ratio|, with
+// appeared and vanished cells pinned to the top.
+func (c Cell) severity() float64 {
+	switch {
+	case c.New:
+		return math.Inf(1)
+	case c.Ratio <= 0:
+		if c.Base == 0 && c.Current == 0 {
+			return 0
+		}
+		return math.Inf(1) // vanished: nonzero base, zero current
+	default:
+		return math.Abs(math.Log(c.Ratio))
+	}
+}
+
+// Report is the differential attribution between two captures.
+type Report struct {
+	// Schema versions the JSON layout for golden-schema CI validation.
+	Schema int `json:"schema"`
+	// Threshold is the regression ratio the verdict used.
+	Threshold float64 `json:"threshold"`
+	// Cells holds every compared series, most-changed first.
+	Cells []Cell `json:"cells"`
+	// Regressions is the count of cells whose ratio exceeds Threshold.
+	Regressions int `json:"regressions"`
+	// Top points at the worst offender among regressed cells (or the
+	// most-changed cell when nothing regressed); nil when no cells matched.
+	Top *Cell `json:"top,omitempty"`
+}
+
+// ReportSchema is the perfdiff JSON report version.
+const ReportSchema = 1
+
+// Compare diffs every numeric series shared by two captures. Cells present
+// in only one capture are skipped — attribution judges shared coverage.
+func Compare(base, current bench.Report, threshold float64) Report {
+	baseVals := seriesValues(base)
+	rep := Report{Schema: ReportSchema, Threshold: threshold}
+	for _, t := range current.Tables {
+		for _, s := range t.Series {
+			if len(s.Values) == 0 {
+				continue
+			}
+			key := t.ID + "\x00" + s.Name + "\x00" + s.Label
+			b, ok := baseVals[key]
+			if !ok {
+				continue
+			}
+			cur := s.Values[0]
+			cell := Cell{
+				Metric:  s.Name,
+				Label:   s.Label,
+				Base:    b,
+				Current: cur,
+				Delta:   cur - b,
+			}
+			switch {
+			case b != 0:
+				cell.Ratio = cur / b
+			case cur == 0:
+				cell.Ratio = 1
+			default:
+				cell.New = true
+			}
+			cell.Kernel, cell.Counter = classify(s.Name, s.Label)
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	sort.SliceStable(rep.Cells, func(i, j int) bool {
+		si, sj := rep.Cells[i].severity(), rep.Cells[j].severity()
+		if si != sj {
+			return si > sj
+		}
+		return math.Abs(rep.Cells[i].Delta) > math.Abs(rep.Cells[j].Delta)
+	})
+	for i := range rep.Cells {
+		if rep.Cells[i].Regressed(threshold) {
+			rep.Regressions++
+			if rep.Top == nil {
+				c := rep.Cells[i]
+				rep.Top = &c
+			}
+		}
+	}
+	if rep.Top == nil && len(rep.Cells) > 0 {
+		c := rep.Cells[0]
+		rep.Top = &c
+	}
+	return rep
+}
+
+// classify splits a series (name, label) into its kernel and counter
+// components. Per-kernel labels are "graph/method/kernel"; work series names
+// are "work-<counter>" / "kernelwork-<counter>".
+func classify(name, label string) (kernel, counter string) {
+	if c, ok := strings.CutPrefix(name, "kernelwork-"); ok {
+		counter = c
+	} else if c, ok := strings.CutPrefix(name, "work-"); ok {
+		counter = c
+	}
+	if strings.HasPrefix(name, "kernelwork-") || name == "kernel-ms" {
+		if i := strings.LastIndexByte(label, '/'); i >= 0 {
+			kernel = label[i+1:]
+		}
+	}
+	return kernel, counter
+}
+
+func seriesValues(r bench.Report) map[string]float64 {
+	m := map[string]float64{}
+	for _, t := range r.Tables {
+		for _, s := range t.Series {
+			if len(s.Values) > 0 {
+				m[t.ID+"\x00"+s.Name+"\x00"+s.Label] = s.Values[0]
+			}
+		}
+	}
+	return m
+}
+
+// TopOffender names the report's worst kernel/counter pair in one line —
+// the sentence the bench -check gate prints when it fails. Empty when the
+// report has no cells.
+func (r Report) TopOffender() string {
+	if r.Top == nil {
+		return ""
+	}
+	c := *r.Top
+	what := c.Metric
+	if c.Counter != "" {
+		what = c.Counter
+	}
+	if c.Kernel != "" {
+		what = c.Kernel + "/" + what
+	}
+	return fmt.Sprintf("top offender: %s (%s) %s", what, c.Label, ratioStr(c))
+}
+
+// WriteTable renders the report as a markdown table, largest change first,
+// flagging regressed cells. maxRows <= 0 prints everything.
+func (r Report) WriteTable(w io.Writer, maxRows int) {
+	fmt.Fprintf(w, "### perfdiff (threshold %.2f×, %d cells, %d regressed)\n\n",
+		r.Threshold, len(r.Cells), r.Regressions)
+	if len(r.Cells) == 0 {
+		fmt.Fprintln(w, "no comparable series — the captures share no (table, series, label) cells")
+		return
+	}
+	fmt.Fprintln(w, "| metric | label | base | current | delta | ratio | |")
+	fmt.Fprintln(w, "| --- | --- | --- | --- | --- | --- | --- |")
+	for i, c := range r.Cells {
+		if maxRows > 0 && i >= maxRows {
+			fmt.Fprintf(w, "\n… %d more cells (JSON output has all)\n", len(r.Cells)-maxRows)
+			break
+		}
+		flag := ""
+		if c.Regressed(r.Threshold) {
+			flag = "**REGRESSED**"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %+.6g | %s | %s |\n",
+			c.Metric, c.Label, num(c.Base), num(c.Current), c.Delta, ratioStr(c), flag)
+	}
+	if r.Top != nil {
+		fmt.Fprintf(w, "\n%s\n", r.TopOffender())
+	}
+}
+
+func num(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%.6g", x)
+}
+
+func ratioStr(c Cell) string {
+	if c.New {
+		return "new"
+	}
+	return fmt.Sprintf("%.2f×", c.Ratio)
+}

@@ -1,0 +1,245 @@
+package perfdiff
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nulpa/internal/bench"
+	"nulpa/internal/metrics"
+)
+
+func report(vals map[string]map[string]float64) bench.Report {
+	t := bench.Table{ID: "perf"}
+	for name, byLabel := range vals {
+		for label, v := range byLabel {
+			t.Series = append(t.Series, bench.Series{Name: name, Label: label, Values: []float64{v}})
+		}
+	}
+	return bench.Report{Scale: "small", Reps: 1, Tables: []bench.Table{t}}
+}
+
+func TestCompareAttributesRegression(t *testing.T) {
+	base := report(map[string]map[string]float64{
+		"median-ms":              {"web/nulpa": 10},
+		"work-edge_visits":       {"web/nulpa": 1000},
+		"kernelwork-hash_probes": {"web/nulpa/thread": 500},
+		"kernel-ms":              {"web/nulpa/thread": 6},
+		"only-in-base":           {"web/nulpa": 1},
+	})
+	cur := report(map[string]map[string]float64{
+		"median-ms":              {"web/nulpa": 25},          // 2.5× — regressed
+		"work-edge_visits":       {"web/nulpa": 1100},        // 1.1× — fine
+		"kernelwork-hash_probes": {"web/nulpa/thread": 2000}, // 4× — worst
+		"kernel-ms":              {"web/nulpa/thread": 20},
+		"only-in-current":        {"web/nulpa": 1}, // unmatched: skipped
+	})
+
+	rep := Compare(base, cur, 1.5)
+	if rep.Schema != ReportSchema {
+		t.Errorf("Schema = %d, want %d", rep.Schema, ReportSchema)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4 (unmatched series skipped): %+v", len(rep.Cells), rep.Cells)
+	}
+	if rep.Regressions != 3 {
+		t.Errorf("Regressions = %d, want 3 (median, probes, kernel-ms)", rep.Regressions)
+	}
+	// Severity ordering puts the 4× hash-probe growth first, and Top must
+	// name the kernel/counter pair.
+	if rep.Cells[0].Metric != "kernelwork-hash_probes" {
+		t.Errorf("worst cell is %q, want kernelwork-hash_probes", rep.Cells[0].Metric)
+	}
+	if rep.Top == nil {
+		t.Fatal("Top is nil with regressions present")
+	}
+	if rep.Top.Kernel != "thread" || rep.Top.Counter != "hash_probes" {
+		t.Errorf("Top = %+v, want kernel thread / counter hash_probes", rep.Top)
+	}
+	line := rep.TopOffender()
+	if !strings.Contains(line, "thread/hash_probes") || !strings.Contains(line, "4.00×") {
+		t.Errorf("TopOffender() = %q, want kernel/counter pair and ratio", line)
+	}
+
+	var buf bytes.Buffer
+	rep.WriteTable(&buf, 0)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "top offender:") {
+		t.Errorf("table output missing verdicts:\n%s", out)
+	}
+}
+
+func TestCompareEdgeRatios(t *testing.T) {
+	base := report(map[string]map[string]float64{
+		"work-label_flips": {"a/m": 0, "b/m": 0, "c/m": 100},
+	})
+	cur := report(map[string]map[string]float64{
+		"work-label_flips": {"a/m": 0, "b/m": 50, "c/m": 0},
+	})
+	rep := Compare(base, cur, 1.5)
+	byLabel := map[string]Cell{}
+	for _, c := range rep.Cells {
+		byLabel[c.Label] = c
+	}
+	if c := byLabel["a/m"]; c.Ratio != 1 || c.New {
+		t.Errorf("zero→zero cell = %+v, want ratio 1", c)
+	}
+	if c := byLabel["b/m"]; !c.New {
+		t.Errorf("zero→50 cell = %+v, want New", c)
+	}
+	if c := byLabel["c/m"]; c.Ratio != 0 {
+		t.Errorf("100→zero cell = %+v, want ratio 0", c)
+	}
+	// Appeared counters are not regressions; the report must survive JSON
+	// encoding (no non-finite values).
+	if byLabel["b/m"].Regressed(1.5) {
+		t.Error("appeared cell counted as regression")
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report not JSON-encodable: %v", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name, label, kernel, counter string
+	}{
+		{"median-ms", "web/nulpa", "", ""},
+		{"work-edge_visits", "web/nulpa", "", "edge_visits"},
+		{"work-frontier_occupancy", "web/nulpa", "", "frontier_occupancy"},
+		{"kernelwork-hash_probes", "web/nulpa/block", "block", "hash_probes"},
+		{"kernel-ms", "web/nulpa/cross-check", "cross-check", ""},
+	}
+	for _, c := range cases {
+		k, cnt := classify(c.name, c.label)
+		if k != c.kernel || cnt != c.counter {
+			t.Errorf("classify(%q, %q) = (%q, %q), want (%q, %q)",
+				c.name, c.label, k, cnt, c.kernel, c.counter)
+		}
+	}
+}
+
+// TestLoadCaptureSniffing covers the three accepted on-disk shapes.
+func TestLoadCaptureSniffing(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, v any) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	plain := report(map[string]map[string]float64{"median-ms": {"web/nulpa": 10}})
+	plainPath := write("report.json", plain)
+	r, desc, err := LoadCapture(plainPath, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "bench report") || len(r.Tables) != 1 {
+		t.Errorf("plain report loaded as %q with %d tables", desc, len(r.Tables))
+	}
+
+	histPath := write("history.json", bench.History{Schema: bench.HistorySchema, Entries: []bench.HistoryEntry{
+		{Schema: 1, Report: report(map[string]map[string]float64{"median-ms": {"web/nulpa": 10}})},
+		{Schema: 1, Report: report(map[string]map[string]float64{"median-ms": {"web/nulpa": 20}})},
+	}})
+	r, _, err = LoadCapture(histPath, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tables[0].Series[0].Values[0]; got != 20 {
+		t.Errorf("entry -1 median = %v, want 20 (latest)", got)
+	}
+	r, _, err = LoadCapture(histPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tables[0].Series[0].Values[0]; got != 10 {
+		t.Errorf("entry 0 median = %v, want 10 (oldest)", got)
+	}
+	if _, _, err := LoadCapture(histPath, 5); err == nil {
+		t.Error("out-of-range history entry loaded without error")
+	}
+
+	snapPath := write("perf.json", Snapshot{Schema: SnapshotSchema, Counters: []metrics.MetricValue{
+		{Name: "nulpa_work_edge_visits_total", Label: "thread", Value: 123, Kind: "counter"},
+	}})
+	r, desc, err = LoadCapture(snapPath, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "snapshot") {
+		t.Errorf("snapshot loaded as %q", desc)
+	}
+	s := r.Tables[0].Series[0]
+	if s.Name != "nulpa_work_edge_visits_total" || s.Label != "thread" || s.Values[0] != 123 {
+		t.Errorf("snapshot series = %+v", s)
+	}
+	// Two snapshots diff like any other pair.
+	rep := Compare(r, r, 1.5)
+	if len(rep.Cells) != 1 || rep.Cells[0].Ratio != 1 {
+		t.Errorf("self-diff of snapshot = %+v, want one 1.00× cell", rep.Cells)
+	}
+
+	if _, _, err := LoadCapture(write("junk.json", map[string]string{"x": "y"}), -1); err == nil {
+		t.Error("unrecognised shape loaded without error")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	rep := Compare(
+		report(map[string]map[string]float64{"work-edge_visits": {"web/nulpa": 100}}),
+		report(map[string]map[string]float64{"work-edge_visits": {"web/nulpa": 150}}),
+		1.5)
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string             `json:"name"`
+			Ph   string             `json:"ph"`
+			Ts   int64              `json:"ts"`
+			Args map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2 (base and current samples)", len(out.TraceEvents))
+	}
+	for i, want := range []float64{100, 150} {
+		e := out.TraceEvents[i]
+		if e.Ph != "C" || e.Args["value"] != want || e.Ts != int64(i) {
+			t.Errorf("event %d = %+v, want counter sample value %v at ts %d", i, e, want, i)
+		}
+	}
+}
+
+// TestSchemaGolden pins the report JSON layout against the checked-in
+// descriptor; CI's perf-diff-smoke job makes the same comparison through the
+// perfdiff -schema flag. Regenerate deliberately with:
+//
+//	go run ./cmd/perfdiff -schema > internal/perfdiff/testdata/schema.golden.json
+func TestSchemaGolden(t *testing.T) {
+	got, err := json.MarshalIndent(Schema(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "schema.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(got)) != strings.TrimSpace(string(want)) {
+		t.Errorf("report schema drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

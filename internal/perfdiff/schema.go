@@ -1,0 +1,44 @@
+package perfdiff
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Schema descriptor: a stable, machine-checkable statement of the JSON
+// report layout. CI's perf-diff-smoke job compares `perfdiff -schema`
+// against the checked-in golden (testdata/schema.golden.json), so renaming
+// or dropping a report field is caught at the gate, not by a downstream
+// consumer.
+
+// SchemaDescriptor lists the JSON field names of the report and cell
+// objects, plus the schema version.
+type SchemaDescriptor struct {
+	Schema int      `json:"schema"`
+	Report []string `json:"report"`
+	Cell   []string `json:"cell"`
+}
+
+// Schema returns the descriptor for this build's report layout, derived from
+// the struct tags so it cannot drift from the encoder.
+func Schema() SchemaDescriptor {
+	return SchemaDescriptor{
+		Schema: ReportSchema,
+		Report: jsonFields(reflect.TypeOf(Report{})),
+		Cell:   jsonFields(reflect.TypeOf(Cell{})),
+	}
+}
+
+func jsonFields(t reflect.Type) []string {
+	var out []string
+	for i := 0; i < t.NumField(); i++ {
+		tag := t.Field(i).Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name != "" && name != "-" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

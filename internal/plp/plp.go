@@ -95,9 +95,9 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(_ context.Context, iter int) engine.IterOutcome {
-		var updated int64
+		var updated, edges, processed int64
 		runGuided(n, workers, func(lo, hi int, sc *scratch) {
-			var local int64
+			var local, localEdges, localActive int64
 			for v := lo; v < hi; v++ {
 				if atomicLoad(active, v) == 0 {
 					continue
@@ -105,6 +105,8 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 				atomicStore(active, v, 0)
 				u := graph.Vertex(v)
 				ts, ws := g.Neighbors(u)
+				localEdges += int64(len(ts))
+				localActive++
 				acc := sc.acc
 				clear(acc)
 				for k, w := range ts {
@@ -151,6 +153,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 				if best != cur {
 					atomicStore(labels, v, best)
 					local++
+					localEdges += int64(len(ts)) // reactivation scan
 					for _, w := range ts {
 						atomicStore(active, int(w), 1)
 					}
@@ -159,8 +162,13 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 			if local != 0 {
 				atomic.AddInt64(&updated, local)
 			}
+			atomic.AddInt64(&edges, localEdges)
+			atomic.AddInt64(&processed, localActive)
 		})
-		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: updated, DeltaN: updated}}
+		return engine.IterOutcome{Record: telemetry.IterRecord{
+			Moves: updated, DeltaN: updated,
+			EdgeVisits: edges, ActiveVertices: processed,
+		}}
 	})
 	if lr.Err != nil {
 		return nil, lr.Err

@@ -360,6 +360,14 @@ func (d *Device) launch(ctx context.Context, gridDim, blockDim int, k Kernel, st
 	}
 	wg.Wait()
 	if prof != nil {
+		// Work counters drain before KernelEnd so profilers that drop
+		// launch state on end (MetricsProfiler) still see the kernel name.
+		if wk, ok := k.(WorkReportingKernel); ok {
+			if wp, ok := prof.(WorkProfiler); ok {
+				ev, lf, hp, hc, av := wk.TakeWork()
+				wp.KernelWork(launch, ev, lf, hp, hc, av)
+			}
+		}
 		prof.KernelEnd(launch, kStart, time.Now())
 	}
 }

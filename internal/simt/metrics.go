@@ -61,6 +61,28 @@ type MetricsProfiler struct {
 	mu       sync.Mutex
 	next     int
 	launches map[int]*mpLaunch
+	// evict is the oldest launch id that may still be in the map; the
+	// eviction scan advances it so abandoned entries cannot accumulate.
+	evict int
+}
+
+// maxPendingLaunches bounds the in-flight launch maps of MetricsProfiler and
+// multiProfiler. Entries are removed on KernelEnd, but a launch abandoned
+// between Begin and End (a kernel that panicked, a goroutine that died)
+// would otherwise leak its entry for the life of a serve session. Launch ids
+// are dense and monotonic, so eviction drops the oldest ids first — exactly
+// the ones that can no longer complete.
+const maxPendingLaunches = 1024
+
+// evictOldest drops the oldest entries of a dense-id launch map until it is
+// back under maxPendingLaunches. cursor is the oldest id possibly present;
+// the advanced cursor is returned. Callers hold the map's lock.
+func evictOldest[V any](m map[int]V, cursor, newest int) int {
+	for len(m) > maxPendingLaunches && cursor < newest {
+		delete(m, cursor)
+		cursor++
+	}
+	return cursor
 }
 
 type mpLaunch struct {
@@ -82,6 +104,7 @@ func (p *MetricsProfiler) KernelBegin(kernel string, grid, blockDim, sms int) in
 	id := p.next
 	p.next++
 	p.launches[id] = &mpLaunch{kernel: kernel, sms: sms}
+	p.evict = evictOldest(p.launches, p.evict, id)
 	return id
 }
 
@@ -121,8 +144,9 @@ type multiProfiler struct {
 	ps []Profiler
 	mu sync.Mutex
 	// ids maps this profiler's launch id to the children's ids, in ps order.
-	ids map[int][]int
-	nxt int
+	ids   map[int][]int
+	nxt   int
+	evict int
 }
 
 // MultiProfiler combines profilers into one Profiler — the way to feed the
@@ -155,6 +179,7 @@ func (m *multiProfiler) KernelBegin(kernel string, grid, blockDim, sms int) int 
 	id := m.nxt
 	m.nxt++
 	m.ids[id] = child
+	m.evict = evictOldest(m.ids, m.evict, id)
 	return id
 }
 
@@ -163,6 +188,9 @@ func (m *multiProfiler) SMSpan(launch, sm int, start, end time.Time, blocks, pha
 	m.mu.Lock()
 	child := m.ids[launch]
 	m.mu.Unlock()
+	if child == nil {
+		return
+	}
 	for i, p := range m.ps {
 		p.SMSpan(child[i], sm, start, end, blocks, phases, lanes)
 	}
@@ -174,6 +202,9 @@ func (m *multiProfiler) KernelEnd(launch int, start, end time.Time) {
 	child := m.ids[launch]
 	delete(m.ids, launch)
 	m.mu.Unlock()
+	if child == nil {
+		return
+	}
 	for i, p := range m.ps {
 		p.KernelEnd(child[i], start, end)
 	}

@@ -1,0 +1,122 @@
+package simt
+
+import (
+	"sync/atomic"
+
+	"nulpa/internal/metrics"
+)
+
+// Work accounting: kernels that can count their algorithmic work — edge
+// visits, label flips, hashtable probes/collisions, active vertices — report
+// it per launch through two optional extensions of the profiling seam:
+//
+//   - a Kernel additionally implements WorkReportingKernel, draining its
+//     accumulated counters after the launch;
+//   - a Profiler additionally implements WorkProfiler, receiving them.
+//
+// The device wires the two together in launch(): after every block has
+// finished and before KernelEnd, it drains the kernel's counters into the
+// profiler. Both interfaces are structural, so telemetry.Recorder satisfies
+// WorkProfiler without importing this package — the same decoupling as
+// Profiler itself — which is why KernelWork passes flat int64s rather than a
+// shared struct.
+//
+// Counting is gated on the profiler actually wanting the numbers: kernels
+// check WantsWork(dev.Prof) once per run and skip the atomic adds when false,
+// keeping the disabled path allocation- and contention-free.
+
+// WorkProfiler is the optional Profiler extension receiving per-launch
+// algorithmic work counters. KernelWork is called at most once per launch,
+// after the last SMSpan and before KernelEnd, from the launching goroutine.
+type WorkProfiler interface {
+	KernelWork(launch int, edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices int64)
+}
+
+// WorkReportingKernel is the optional Kernel extension for kernels that
+// count their work. TakeWork drains the counters accumulated since the last
+// call — launch() calls it once after the grid completes, so a kernel reused
+// across launches reports per-launch deltas for free.
+type WorkReportingKernel interface {
+	Kernel
+	TakeWork() (edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices int64)
+}
+
+// WantsWork reports whether profiler p consumes work counters — the gate
+// kernels use to decide whether counting is worth the atomic adds. A
+// MultiProfiler wants work when any child does.
+func WantsWork(p Profiler) bool {
+	if m, ok := p.(*multiProfiler); ok {
+		for _, c := range m.ps {
+			if WantsWork(c) {
+				return true
+			}
+		}
+		return false
+	}
+	_, ok := p.(WorkProfiler)
+	return ok
+}
+
+// WorkAccum is a concurrency-safe work-counter accumulator for kernels to
+// embed: lanes add from SM goroutines, TakeWork drains from the launching
+// goroutine. The zero value is ready to use.
+type WorkAccum struct {
+	EdgeVisits     atomic.Int64
+	LabelFlips     atomic.Int64
+	HashProbes     atomic.Int64
+	HashCollisions atomic.Int64
+	ActiveVertices atomic.Int64
+}
+
+// Take drains the accumulator, returning the counts since the last Take.
+func (w *WorkAccum) Take() (edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices int64) {
+	return w.EdgeVisits.Swap(0), w.LabelFlips.Swap(0), w.HashProbes.Swap(0),
+		w.HashCollisions.Swap(0), w.ActiveVertices.Swap(0)
+}
+
+// Metrics-plane export: per-kernel work counters, populated whenever a
+// MetricsProfiler is attached and the kernel reports work.
+var (
+	mWorkEdgeVisits = metrics.NewCounterVec("nulpa_work_edge_visits_total",
+		"Edge (arc) inspections by work-reporting kernels, per kernel.", "kernel")
+	mWorkLabelFlips = metrics.NewCounterVec("nulpa_work_label_flips_total",
+		"Committed label changes by work-reporting kernels, per kernel.", "kernel")
+	mWorkHashProbes = metrics.NewCounterVec("nulpa_work_hash_probes_total",
+		"Hashtable slot probes by work-reporting kernels, per kernel.", "kernel")
+	mWorkHashCollisions = metrics.NewCounterVec("nulpa_work_hash_collisions_total",
+		"Hashtable probe collisions by work-reporting kernels, per kernel.", "kernel")
+	mWorkActive = metrics.NewCounterVec("nulpa_work_active_vertices_total",
+		"Vertices processed (frontier occupancy) by work-reporting kernels, per kernel.", "kernel")
+)
+
+// KernelWork implements WorkProfiler: work counters flow to the
+// nulpa_work_*_total{kernel} metric families.
+func (p *MetricsProfiler) KernelWork(launch int, edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices int64) {
+	p.mu.Lock()
+	l, ok := p.launches[launch]
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+	mWorkEdgeVisits.With(l.kernel).Add(edgeVisits)
+	mWorkLabelFlips.With(l.kernel).Add(labelFlips)
+	mWorkHashProbes.With(l.kernel).Add(hashProbes)
+	mWorkHashCollisions.With(l.kernel).Add(hashCollisions)
+	mWorkActive.With(l.kernel).Add(activeVertices)
+}
+
+// KernelWork implements WorkProfiler by forwarding to every child that
+// consumes work counters.
+func (m *multiProfiler) KernelWork(launch int, edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices int64) {
+	m.mu.Lock()
+	child := m.ids[launch]
+	m.mu.Unlock()
+	if child == nil {
+		return
+	}
+	for i, p := range m.ps {
+		if wp, ok := p.(WorkProfiler); ok {
+			wp.KernelWork(child[i], edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices)
+		}
+	}
+}

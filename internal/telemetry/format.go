@@ -14,15 +14,16 @@ func FormatIters(recs []IterRecord) string {
 		return "(no per-iteration records)\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%5s %3s %3s %10s %9s %10s %9s %10s %10s %10s %12s %9s %12s\n",
+	fmt.Fprintf(&b, "%5s %3s %3s %10s %9s %10s %9s %10s %10s %10s %12s %12s %9s %9s %12s\n",
 		"iter", "PL", "CC", "moves", "reverts", "deltaN", "pruned",
-		"t-kernel", "b-kernel", "x-kernel", "probes", "retries", "time")
+		"t-kernel", "b-kernel", "x-kernel", "edges", "probes", "active", "retries", "time")
 	for _, r := range recs {
-		fmt.Fprintf(&b, "%5d %3s %3s %10d %9d %10d %9d %10s %10s %10s %12d %9d %12v\n",
+		fmt.Fprintf(&b, "%5d %3s %3s %10d %9d %10d %9d %10s %10s %10s %12d %12d %9d %9d %12v\n",
 			r.Iter, mark(r.PickLess), mark(r.CrossCheck),
 			r.Moves, r.Reverts, r.DeltaN, r.Pruned,
 			ms(r.ThreadKernel), ms(r.BlockKernel), ms(r.CrossKernel),
-			r.HashProbes, r.CASRetries, r.Duration.Round(time.Microsecond))
+			r.EdgeVisits, r.HashProbes, r.ActiveVertices,
+			r.CASRetries, r.Duration.Round(time.Microsecond))
 	}
 	return b.String()
 }
@@ -35,13 +36,15 @@ func (r *Recorder) Summary() string {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-22s %8s %12s %12s %10s %10s\n",
-		"kernel", "launches", "total", "SM busy", "blocks", "phases")
+	fmt.Fprintf(&b, "%-22s %8s %12s %12s %10s %10s %12s %10s %12s %10s\n",
+		"kernel", "launches", "total", "SM busy", "blocks", "phases",
+		"edges", "flips", "probes", "active")
 	for _, k := range ks {
-		fmt.Fprintf(&b, "%-22s %8d %12v %12v %10d %10d\n",
+		fmt.Fprintf(&b, "%-22s %8d %12v %12v %10d %10d %12d %10d %12d %10d\n",
 			k.Kernel, k.Launches,
 			k.Total.Round(time.Microsecond), k.SMBusy.Round(time.Microsecond),
-			k.Blocks, k.Phases)
+			k.Blocks, k.Phases,
+			k.Work.EdgeVisits, k.Work.LabelFlips, k.Work.HashProbes, k.Work.ActiveVertices)
 	}
 	sms := r.SMUtilization()
 	if len(sms) > 0 {

@@ -59,6 +59,15 @@ type IterRecord struct {
 	// CASRetries is the number of lost atomic races (CAS retry loops in the
 	// simt engine) during the iteration, a process-wide delta.
 	CASRetries int64 `json:"casRetries,omitempty"`
+	// EdgeVisits is the number of edge (arc) inspections performed this
+	// iteration: neighbour scans during label accumulation plus
+	// neighbourhood wake-up scans after moves. The primary work counter —
+	// the quantity ROADMAP's frontier arc must shrink by an order of
+	// magnitude.
+	EdgeVisits int64 `json:"edgeVisits,omitempty"`
+	// ActiveVertices is the number of vertices actually processed this
+	// iteration (not pruned/skipped) — the frontier occupancy numerator.
+	ActiveVertices int64 `json:"activeVertices,omitempty"`
 }
 
 // SMSpan is one streaming multiprocessor's busy span within a kernel launch.
@@ -82,6 +91,9 @@ type Launch struct {
 	BlockDim   int
 	Start, End time.Time
 	SMs        []SMSpan
+	// Work is the launch's algorithmic work ledger, reported by kernels
+	// implementing the simt WorkReportingKernel extension; zero otherwise.
+	Work WorkCounts
 }
 
 // iterEvent pairs an IterRecord with its wall-clock timestamp for the trace
@@ -201,6 +213,8 @@ type KernelSummary struct {
 	Blocks int64
 	Phases int64
 	Lanes  int64
+	// Work is the summed algorithmic work ledger of the launches.
+	Work WorkCounts
 }
 
 // KernelSummaries aggregates launches per kernel name, in first-launch
@@ -220,6 +234,7 @@ func (r *Recorder) KernelSummaries() []KernelSummary {
 		s := &out[i]
 		s.Launches++
 		s.Total += l.End.Sub(l.Start)
+		s.Work = s.Work.Add(l.Work)
 		for _, sm := range l.SMs {
 			s.SMBusy += sm.Busy()
 			s.Blocks += sm.Blocks

@@ -1,0 +1,121 @@
+package telemetry
+
+// Work accounting: algorithmic work counters — the quantities a speed
+// optimisation actually changes, long before noisy wall-clock timings show
+// it. A WorkCounts is the canonical ledger; kernels report one per launch
+// through the simt WorkProfiler hook (Recorder.KernelWork) and every
+// detector's per-iteration records carry the same quantities (EdgeVisits,
+// Moves, ActiveVertices, HashProbes/HashCollisions on IterRecord), so the
+// per-kernel and per-iteration views are two projections of one accounting.
+
+// WorkCounts is the per-kernel (or per-run) algorithmic work ledger.
+type WorkCounts struct {
+	// EdgeVisits counts edge (arc) inspections: neighbour scans during
+	// label accumulation plus neighbourhood wake-up scans after a move.
+	EdgeVisits int64 `json:"edgeVisits,omitempty"`
+	// LabelFlips counts committed label changes (gross, before reverts);
+	// a Cross-Check revert is itself a flip back.
+	LabelFlips int64 `json:"labelFlips,omitempty"`
+	// HashProbes and HashCollisions are the per-vertex hashtable probe
+	// accounting (wired from hashtable.StatsSnapshot deltas).
+	HashProbes     int64 `json:"hashProbes,omitempty"`
+	HashCollisions int64 `json:"hashCollisions,omitempty"`
+	// ActiveVertices counts vertices actually processed — the frontier
+	// occupancy numerator; ActiveVertices / (iterations · |V|) is the mean
+	// fraction of the graph doing work per round.
+	ActiveVertices int64 `json:"activeVertices,omitempty"`
+}
+
+// WorkCounterNames lists the canonical counter keys in report order — the
+// names the metrics plane, bench work series, and perfdiff all use, so a
+// counter added here must be wired everywhere (Get panics on unknown names
+// to make a drift loud).
+var WorkCounterNames = []string{
+	"edge_visits", "label_flips", "hash_probes", "hash_collisions", "active_vertices",
+}
+
+// Get returns the counter value by canonical name; unknown names panic.
+func (w WorkCounts) Get(name string) int64 {
+	switch name {
+	case "edge_visits":
+		return w.EdgeVisits
+	case "label_flips":
+		return w.LabelFlips
+	case "hash_probes":
+		return w.HashProbes
+	case "hash_collisions":
+		return w.HashCollisions
+	case "active_vertices":
+		return w.ActiveVertices
+	default:
+		panic("telemetry: unknown work counter " + name)
+	}
+}
+
+// Add returns the field-wise sum w + o.
+func (w WorkCounts) Add(o WorkCounts) WorkCounts {
+	return WorkCounts{
+		EdgeVisits:     w.EdgeVisits + o.EdgeVisits,
+		LabelFlips:     w.LabelFlips + o.LabelFlips,
+		HashProbes:     w.HashProbes + o.HashProbes,
+		HashCollisions: w.HashCollisions + o.HashCollisions,
+		ActiveVertices: w.ActiveVertices + o.ActiveVertices,
+	}
+}
+
+// IsZero reports whether no work was recorded.
+func (w WorkCounts) IsZero() bool { return w == WorkCounts{} }
+
+// RecordWork projects one iteration record onto the canonical ledger:
+// Moves are label flips, and the hashtable deltas carry over directly.
+func RecordWork(r IterRecord) WorkCounts {
+	return WorkCounts{
+		EdgeVisits:     r.EdgeVisits,
+		LabelFlips:     r.Moves,
+		HashProbes:     r.HashProbes,
+		HashCollisions: r.HashCollisions,
+		ActiveVertices: r.ActiveVertices,
+	}
+}
+
+// TotalWork sums a run's iteration trace into one ledger — the run-grained
+// work view bench captures and the engine exports per detector.
+func TotalWork(recs []IterRecord) WorkCounts {
+	var w WorkCounts
+	for _, r := range recs {
+		w = w.Add(RecordWork(r))
+	}
+	return w
+}
+
+// KernelWork implements the simt WorkProfiler extension: it attaches a
+// launch's algorithmic work counters to the recorded Launch. Like the other
+// Profiler methods it takes flat int64s so simt and telemetry need not share
+// a type. Safe for concurrent use.
+func (r *Recorder) KernelWork(launch int, edgeVisits, labelFlips, hashProbes, hashCollisions, activeVertices int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if launch < 0 || launch >= len(r.launches) {
+		return
+	}
+	r.launches[launch].Work = WorkCounts{
+		EdgeVisits:     edgeVisits,
+		LabelFlips:     labelFlips,
+		HashProbes:     hashProbes,
+		HashCollisions: hashCollisions,
+		ActiveVertices: activeVertices,
+	}
+}
+
+// KernelWorkByName aggregates recorded per-launch work per kernel name, in
+// first-launch order — the per-kernel work view bench exports and perfdiff
+// compares.
+func (r *Recorder) KernelWorkByName() map[string]WorkCounts {
+	out := map[string]WorkCounts{}
+	for _, s := range r.KernelSummaries() {
+		if !s.Work.IsZero() {
+			out[s.Kernel] = s.Work
+		}
+	}
+	return out
+}

@@ -75,6 +75,7 @@ func COPRA(g *graph.CSR, opt COPRAOptions) (*COPRAResult, error) {
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(_ context.Context, it int) engine.IterOutcome {
+		var edges, active int64
 		for v := 0; v < n; v++ {
 			ts, ws := g.Neighbors(graph.Vertex(v))
 			out := next[v]
@@ -83,6 +84,8 @@ func COPRA(g *graph.CSR, opt COPRAOptions) (*COPRAResult, error) {
 				out[uint32(v)] = 1
 				continue
 			}
+			edges += int64(len(ts))
+			active++
 			// Average over the closed neighbourhood: the vertex's own
 			// coefficients participate with unit weight. Gregory's
 			// formulation averages neighbours only, but on symmetric
@@ -123,7 +126,10 @@ func COPRA(g *graph.CSR, opt COPRAOptions) (*COPRAResult, error) {
 			prevDominant[v] = d
 		}
 		return engine.IterOutcome{
-			Record: telemetry.IterRecord{Moves: changed, DeltaN: changed},
+			Record: telemetry.IterRecord{
+				Moves: changed, DeltaN: changed,
+				EdgeVisits: edges, ActiveVertices: active,
+			},
 			// COPRA's own rule: stop once dominant labels are stable across
 			// a full round (never on the first, where dominants are still
 			// the initial singletons).

@@ -94,12 +94,14 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) (*LabelRankResult, error) {
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(_ context.Context, it int) engine.IterOutcome {
-		var updated int64
+		var updated, edges, active int64
 		for v := 0; v < n; v++ {
 			ts, _ := g.Neighbors(graph.Vertex(v))
 			if len(ts) == 0 {
 				continue
 			}
+			edges += int64(len(ts)) // conditional-update agreement scan
+			active++
 			// Conditional update: count neighbours sharing our dominant
 			// label.
 			agree := 0
@@ -118,6 +120,7 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) (*LabelRankResult, error) {
 				continue
 			}
 			updated++
+			edges += int64(len(ts)) // propagation scan
 			out := next[v]
 			clear(out)
 			for _, j := range ts {
@@ -144,7 +147,10 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) (*LabelRankResult, error) {
 		for v := 0; v < n; v++ {
 			dominant[v] = dominantLabel(cur[v], uint32(v))
 		}
-		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: updated, DeltaN: updated}}
+		return engine.IterOutcome{Record: telemetry.IterRecord{
+			Moves: updated, DeltaN: updated,
+			EdgeVisits: edges, ActiveVertices: active,
+		}}
 	})
 	if lr.Err != nil {
 		return nil, lr.Err

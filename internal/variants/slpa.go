@@ -82,12 +82,14 @@ func SLPA(g *graph.CSR, opt SLPAOptions) (*SLPAResult, error) {
 		Ctx:           opt.Context,
 		Profiler:      opt.Profiler,
 	}, func(_ context.Context, it int) engine.IterOutcome {
-		var stored int64
+		var stored, edges, active int64
 		for v := 0; v < n; v++ {
 			ts, _ := g.Neighbors(graph.Vertex(v))
 			if len(ts) == 0 {
 				continue
 			}
+			edges += int64(len(ts))
+			active++
 			clear(heard)
 			for _, j := range ts {
 				if j == graph.Vertex(v) {
@@ -125,7 +127,10 @@ func SLPA(g *graph.CSR, opt SLPAOptions) (*SLPAResult, error) {
 			memSize[v]++
 			stored++
 		}
-		return engine.IterOutcome{Record: telemetry.IterRecord{Moves: stored, DeltaN: stored}}
+		return engine.IterOutcome{Record: telemetry.IterRecord{
+			Moves: stored, DeltaN: stored,
+			EdgeVisits: edges, ActiveVertices: active,
+		}}
 	})
 	if lr.Err != nil {
 		return nil, lr.Err

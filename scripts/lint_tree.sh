@@ -1,19 +1,20 @@
 #!/bin/sh
-# lint_tree.sh — keep the source tree clean: everything under internal/ must
-# be a Go source file, a testdata fixture, or a directory. Editor droppings,
-# stray binaries, and half-merged artifacts have landed in internal/ before;
-# this gate fails the build the moment one appears.
+# lint_tree.sh — keep the source tree clean: everything under internal/ and
+# cmd/ must be a Go source file, a testdata fixture, or a directory. Editor
+# droppings, stray binaries (a `go build` dropped next to its main package),
+# and half-merged artifacts have landed in the tree before; this gate fails
+# the build the moment one appears.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-bad=$(find internal -type f \
+bad=$(find internal cmd -type f \
     ! -name '*.go' \
     ! -path '*/testdata/*' \
     | sort)
 
 if [ -n "$bad" ]; then
-    echo "lint_tree: non-Go files under internal/ (move to testdata/ or delete):"
+    echo "lint_tree: non-Go files under internal/ or cmd/ (move to testdata/ or delete):"
     echo "$bad" | sed 's/^/  /'
     exit 1
 fi
@@ -21,12 +22,12 @@ fi
 # Directory names must be importable Go package paths: lowercase alphanumeric
 # (plus testdata). Anything else — spaces, double underscores from merge
 # tools, uppercase — is a stray.
-baddir=$(find internal -type d -name testdata -prune -o -type d -print \
-    | grep -v '^internal$' \
-    | grep -vE '^internal(/[a-z][a-z0-9]*)+$' || true)
+baddir=$(find internal cmd -type d -name testdata -prune -o -type d -print \
+    | grep -vE '^(internal|cmd)$' \
+    | grep -vE '^(internal|cmd)(/[a-z][a-z0-9]*)+$' || true)
 
 if [ -n "$baddir" ]; then
-    echo "lint_tree: suspicious directory names under internal/:"
+    echo "lint_tree: suspicious directory names under internal/ or cmd/:"
     echo "$baddir" | sed 's/^/  /'
     exit 1
 fi

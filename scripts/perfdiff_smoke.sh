@@ -1,0 +1,63 @@
+#!/bin/sh
+# perfdiff_smoke.sh — end-to-end check of the work-accounting and perf
+# attribution pipeline: run the perf experiment twice on a small fixture
+# (both runs appending to one bench history file), diff the two history
+# entries with cmd/perfdiff, and validate the outputs:
+#
+#   - the markdown report names a top offender (kernel/counter pair);
+#   - the JSON report matches the golden schema descriptor and carries
+#     cells for edge visits, label flips, hash probes, and frontier
+#     occupancy — the counters the attribution contract promises;
+#   - the Chrome trace export is well-formed counter events.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+hist="$out/BENCH_smoke.json"
+
+echo "perfdiff-smoke: capturing two bench runs into one history file"
+for i in 1 2; do
+    go run ./cmd/bench -experiment perf -scale small -reps 1 \
+        -graphs webbase-2001 -history "$hist" -o /dev/null
+done
+
+if ! grep -q '"entries"' "$hist"; then
+    echo "perfdiff-smoke: FAIL — history file has no entries envelope" >&2
+    exit 1
+fi
+
+echo "perfdiff-smoke: diffing the two history entries"
+go run ./cmd/perfdiff -json "$out/diff.json" -chrome "$out/diff.chrome.json" \
+    "$hist" > "$out/diff.md"
+
+grep -q 'top offender:' "$out/diff.md" || {
+    echo "perfdiff-smoke: FAIL — report names no top offender" >&2
+    cat "$out/diff.md" >&2
+    exit 1
+}
+
+echo "perfdiff-smoke: checking attribution coverage"
+for series in work-edge_visits work-label_flips work-hash_probes \
+    work-frontier_occupancy kernelwork-edge_visits kernel-ms median-ms; do
+    grep -q "\"$series\"" "$out/diff.json" || {
+        echo "perfdiff-smoke: FAIL — JSON report has no $series cell" >&2
+        exit 1
+    }
+done
+
+echo "perfdiff-smoke: validating report schema against the golden descriptor"
+go run ./cmd/perfdiff -schema > "$out/schema.json"
+diff -u internal/perfdiff/testdata/schema.golden.json "$out/schema.json" || {
+    echo "perfdiff-smoke: FAIL — report schema drifted from testdata/schema.golden.json" >&2
+    echo "perfdiff-smoke: regenerate deliberately with: go run ./cmd/perfdiff -schema > internal/perfdiff/testdata/schema.golden.json" >&2
+    exit 1
+}
+
+grep -q '"traceEvents"' "$out/diff.chrome.json" || {
+    echo "perfdiff-smoke: FAIL — Chrome export has no traceEvents" >&2
+    exit 1
+}
+
+echo "perfdiff-smoke: ok"
