@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-full bench chaos trace-smoke perfdiff-smoke
+.PHONY: check build vet lint test test-full bench chaos trace-smoke perfdiff-smoke shard-smoke
 
-check: vet lint test chaos trace-smoke
+check: vet lint test chaos shard-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,13 @@ test-full:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Cancel|Deadline' \
 		./internal/engine/ ./internal/nulpa/ ./internal/simt/ ./internal/faults/ ./internal/httpapi/
+
+# Shard smoke: the multi-device backend end to end under -race — partition
+# and halo construction, the BSP superstep loop, conformance (determinism,
+# partition validity, modularity floor), and single-shard fault recovery.
+shard-smoke:
+	$(GO) test -race -count=1 -run 'Shard|Partition|Conformance' \
+		./internal/engine/ ./internal/nulpa/ ./internal/shard/ ./internal/partition/
 
 # Trace smoke: run a small detection with -trace-out and validate the JSONL
 # span export with cmd/tracecheck (schema + run→detect→iteration→kernel

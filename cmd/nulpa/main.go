@@ -52,8 +52,9 @@ func main() {
 		deg       = flag.Int("deg", 8, "generator average degree parameter")
 		seed      = flag.Int64("seed", 1, "generator / algorithm seed")
 		algo      = flag.String("algo", "nulpa", "registry name of the detector to run, or 'list'")
-		backend   = flag.String("backend", "simt", "nulpa backend: simt or direct")
-		pickless  = flag.Int("pickless", 4, "nulpa: apply Pick-Less every N iterations (0 = off)")
+		backend   = flag.String("backend", "simt", "nulpa backend: simt, direct, or sharded")
+		shards    = flag.Int("shards", 0, "nulpa sharded backend: number of devices (>0 selects -backend sharded)")
+		pickless  = flag.Int("pickless", -1, "nulpa: apply Pick-Less every N iterations (0 = off, -1 = backend default)")
 		crosschk  = flag.Int("crosscheck", 0, "nulpa: apply Cross-Check every N iterations (0 = off)")
 		probing   = flag.String("probing", "quadratic-double", "nulpa: linear, quadratic, double, quadratic-double")
 		switchDeg = flag.Int("switch", 32, "nulpa: thread/block kernel switch degree")
@@ -93,10 +94,19 @@ func main() {
 		return
 	}
 
-	// The -backend flag selects between the two registered ν-LPA detectors.
+	// The -backend flag (or a -shards count) selects between the three
+	// registered ν-LPA detectors.
+	if *shards > 0 && *backend == "simt" {
+		*backend = "sharded"
+	}
 	name := *algo
-	if name == "nulpa" && *backend == "direct" {
-		name = "nulpa-direct"
+	if name == "nulpa" {
+		switch *backend {
+		case "direct":
+			name = "nulpa-direct"
+		case "sharded":
+			name = "nulpa-sharded"
+		}
 	}
 	det, err := engine.MustGet(name)
 	if err != nil {
@@ -130,15 +140,24 @@ func main() {
 		runSpan.SetString("algo", name)
 	}
 	eopt.Context = runCtx
-	if *faultSpec != "" && !(name == "nulpa" && *backend != "direct") {
-		fmt.Fprintf(os.Stderr, "nulpa: -faults applies only to the nulpa simt backend\n")
+	if *faultSpec != "" && name != "nulpa" && name != "nulpa-sharded" {
+		fmt.Fprintf(os.Stderr, "nulpa: -faults applies only to the nulpa simt and sharded backends\n")
 		os.Exit(2)
 	}
-	if *algo == "nulpa" || *algo == "nulpa-direct" {
+	if name == "nulpa" || name == "nulpa-direct" || name == "nulpa-sharded" {
 		// The ν-LPA-specific flags travel through Extra; every other
 		// detector ignores them.
 		nopt := nulpa.DefaultOptions()
-		nopt.PickLessEvery = *pickless
+		if name == "nulpa-sharded" {
+			nopt = nulpa.DefaultShardedOptions()
+			if *shards > 0 {
+				nopt.Shards = *shards
+			}
+			nopt.Workers = *sms
+		}
+		if *pickless >= 0 {
+			nopt.PickLessEvery = *pickless
+		}
 		nopt.CrossCheckEvery = *crosschk
 		nopt.SwitchDegree = *switchDeg
 		if *f64 {
@@ -160,15 +179,17 @@ func main() {
 		if name == "nulpa" {
 			nopt.Device = simt.NewDevice(*sms)
 			nopt.Device.MemBudget = *membudget
-			if *faultSpec != "" {
-				spec, err := faults.ParseSpec(*faultSpec)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "nulpa: bad -faults: %v\n", err)
-					os.Exit(2)
-				}
-				nopt.Faults = faults.New(spec)
-				fmt.Printf("faults: %s\n", spec)
+		}
+		if *faultSpec != "" {
+			// On the sharded backend the injector applies to every shard
+			// device; per-shard injection is an API-level knob (ShardFaults).
+			spec, err := faults.ParseSpec(*faultSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nulpa: bad -faults: %v\n", err)
+				os.Exit(2)
 			}
+			nopt.Faults = faults.New(spec)
+			fmt.Printf("faults: %s\n", spec)
 		}
 		eopt.Extra = nopt
 	}
@@ -213,6 +234,14 @@ func main() {
 		}
 		if nres.Degraded {
 			fmt.Printf("degraded: simt backend faulted beyond recovery; result computed by the direct backend\n")
+		}
+		if len(nres.ShardStats) > 0 {
+			fmt.Printf("shards: %d  halo labels: %d  cut arcs: %d\n",
+				len(nres.ShardStats), nres.HaloLabels, nres.CutArcs)
+			for _, ss := range nres.ShardStats {
+				fmt.Printf("  shard %d: %d owned, %d ghosts, %s device memory\n",
+					ss.Shard, ss.Owned, ss.Ghosts, fmtBytes(ss.DeviceBytes))
+			}
 		}
 	}
 
@@ -260,6 +289,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }
 
 // writeTraceOut dumps the default tracer's resident spans as JSONL.

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+	"nulpa/internal/nulpa"
 )
 
 // The perf experiment and the regression gate. `bench -experiment perf -json
@@ -23,15 +25,28 @@ import (
 // the direct path, and the shared engine scaffolding.
 var perfMethods = []string{"nulpa", "nulpa-direct", "flpa"}
 
+// perfShardCounts is the shards axis for the sharded backend: shards=1 is
+// the partition-and-remap overhead control, shards=4 the multi-device
+// configuration compared against single-device ν-LPA for attribution.
+var perfShardCounts = []int{1, 4}
+
+// shardMethod names one sharded perf cell; the @sK suffix keeps each shard
+// count a distinct label so the regression gate tracks them separately.
+func shardMethod(shards int) string { return fmt.Sprintf("nulpa-sharded@s%d", shards) }
+
 // Perf measures the median wall time of each tracked detector on each graph
 // and attaches one "median-ms" series per cell — the shape CompareReports
-// consumes.
+// consumes. The sharded backend contributes one extra cell per shard count.
 func Perf(cfg Config) []Table {
 	cfg.defaults()
+	header := append([]string{"graph"}, perfMethods...)
+	for _, shards := range perfShardCounts {
+		header = append(header, shardMethod(shards))
+	}
 	tbl := Table{
 		ID:     "perf",
 		Title:  "Median detection runtime (regression-gate input)",
-		Header: append([]string{"graph"}, perfMethods...),
+		Header: header,
 		Notes: []string{
 			"Medians over -reps runs; compare snapshots with `bench -experiment perf -baseline OLD.json [-check]`.",
 		},
@@ -46,32 +61,62 @@ func Perf(cfg Config) []Table {
 			}
 			opt := engine.DefaultOptions()
 			opt.Workers = cfg.SMs
-			durs := make([]time.Duration, 0, cfg.Reps)
-			for r := 0; r < cfg.Reps; r++ {
-				res, err := det.Detect(g, opt)
-				if err != nil {
-					panic("bench: " + err.Error())
-				}
-				durs = append(durs, res.Duration)
+			row = append(row, perfCell(&tbl, cfg, g, det, opt, name, m))
+		}
+		for _, shards := range perfShardCounts {
+			det, err := engine.MustGet("nulpa-sharded")
+			if err != nil {
+				panic("bench: " + err.Error())
 			}
-			med := median(durs)
-			ms := float64(med) / float64(time.Millisecond)
-			row = append(row, f3(ms))
-			tbl.Series = append(tbl.Series, Series{
-				Name:   "median-ms",
-				Label:  name + "/" + m,
-				Values: []float64{ms},
-			})
-			// Work capture: one additional instrumented run. Timed reps stay
-			// unprofiled so the medians remain comparable with pre-existing
-			// baselines; counters are deterministic enough that one profiled
-			// run is representative.
-			tbl.Series = append(tbl.Series, workSeries(g, det, opt, name, m)...)
-			cfg.progressf("perf %s %s: median %v over %d reps\n", name, m, med, cfg.Reps)
+			nopt := nulpa.DefaultShardedOptions()
+			nopt.Shards = shards
+			opt := engine.DefaultOptions()
+			opt.Workers = cfg.SMs
+			opt.Extra = nopt
+			row = append(row, perfCell(&tbl, cfg, g, det, opt, name, shardMethod(shards)))
 		}
 		tbl.Rows = append(tbl.Rows, row)
 	}
 	return []Table{tbl}
+}
+
+// perfCell measures one (graph, method) cell: timed reps feeding the
+// median-ms series, then one instrumented run for the work series. Sharded
+// cells additionally record halo-label and boundary-cut series from the
+// native result so perfdiff can attribute sharded runtime to exchange
+// traffic.
+func perfCell(tbl *Table, cfg Config, g *graph.CSR, det engine.Detector, opt engine.Options, name, m string) string {
+	durs := make([]time.Duration, 0, cfg.Reps)
+	var last *engine.Result
+	for r := 0; r < cfg.Reps; r++ {
+		res, err := det.Detect(g, opt)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		durs = append(durs, res.Duration)
+		last = res
+	}
+	med := median(durs)
+	ms := float64(med) / float64(time.Millisecond)
+	label := name + "/" + m
+	tbl.Series = append(tbl.Series, Series{
+		Name:   "median-ms",
+		Label:  label,
+		Values: []float64{ms},
+	})
+	// Work capture: one additional instrumented run. Timed reps stay
+	// unprofiled so the medians remain comparable with pre-existing
+	// baselines; counters are deterministic enough that one profiled run is
+	// representative.
+	tbl.Series = append(tbl.Series, workSeries(g, det, opt, name, m)...)
+	if nres, ok := last.Extra.(*nulpa.Result); ok && nres.ShardStats != nil {
+		tbl.Series = append(tbl.Series,
+			Series{Name: "shard-halo-labels", Label: label, Values: []float64{float64(nres.HaloLabels)}},
+			Series{Name: "shard-cut-arcs", Label: label, Values: []float64{float64(nres.CutArcs)}},
+		)
+	}
+	cfg.progressf("perf %s %s: median %v over %d reps\n", name, m, med, cfg.Reps)
+	return f3(ms)
 }
 
 // median returns the middle duration (lower middle for even counts).

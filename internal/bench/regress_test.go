@@ -95,13 +95,20 @@ func TestPerfExperimentShape(t *testing.T) {
 			t.Errorf("series %s/%s has %d values, want 1", s.Name, s.Label, len(s.Values))
 		}
 	}
-	if byName["median-ms"] != len(perfMethods) {
+	cells := len(perfMethods) + len(perfShardCounts)
+	if byName["median-ms"] != cells {
 		t.Fatalf("got %d median-ms series, want %d (all: %v)",
-			byName["median-ms"], len(perfMethods), byName)
+			byName["median-ms"], cells, byName)
 	}
 	for _, name := range []string{"work-edge_visits", "work-label_flips", "work-active_vertices", "work-frontier_occupancy"} {
-		if byName[name] != len(perfMethods) {
-			t.Errorf("got %d %s series, want %d", byName[name], name, len(perfMethods))
+		if byName[name] != cells {
+			t.Errorf("got %d %s series, want %d", byName[name], name, cells)
+		}
+	}
+	// The sharded cells each carry the halo-traffic attribution series.
+	for _, name := range []string{"shard-halo-labels", "shard-cut-arcs"} {
+		if byName[name] != len(perfShardCounts) {
+			t.Errorf("got %d %s series, want %d", byName[name], name, len(perfShardCounts))
 		}
 	}
 	// The simt backend reports per-kernel work; at least its kernels must

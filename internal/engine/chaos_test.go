@@ -129,6 +129,91 @@ func TestChaosNulpaTotalFailure(t *testing.T) {
 	}
 }
 
+// TestChaosShardedFaultSchedule runs the multi-device backend under the
+// acceptance fault schedule: the same injector on every shard device. Each
+// run must end in a valid partition (per-shard recovery or fallback) or a
+// typed error.
+func TestChaosShardedFaultSchedule(t *testing.T) {
+	for gname, g := range chaosGraphs() {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", gname, seed), func(t *testing.T) {
+				det, err := engine.MustGet("nulpa-sharded")
+				if err != nil {
+					t.Fatal(err)
+				}
+				nopt := nulpa.DefaultShardedOptions()
+				nopt.Faults = faults.New(faults.Spec{KernelFailRate: 0.01, BitFlipRate: 0.01, Seed: seed})
+				nopt.RetryBackoff = time.Microsecond
+				opt := engine.DefaultOptions()
+				opt.Extra = nopt
+
+				res, err := runGuarded(t, func() (*engine.Result, error) { return det.Detect(g, opt) })
+				if err != nil {
+					if !typedChaosError(err) {
+						t.Fatalf("untyped chaos error: %v", err)
+					}
+					return
+				}
+				checkPartition(t, g, res)
+			})
+		}
+	}
+}
+
+// TestChaosShardedSingleShardRecovery is the sharded acceptance scenario:
+// one shard's device faults, that shard alone rolls back to its checkpoint
+// and retries, and its peers proceed without recording any recovery work.
+func TestChaosShardedSingleShardRecovery(t *testing.T) {
+	g := chaosGraphs()["social"]
+	det, err := engine.MustGet("nulpa-sharded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := false
+	for seed := int64(1); seed <= 10 && !recovered; seed++ {
+		nopt := nulpa.DefaultShardedOptions()
+		nopt.Workers = 1
+		nopt.ShardFaults = []*faults.Injector{
+			nil,
+			faults.New(faults.Spec{KernelFailRate: 0.2, Seed: seed}),
+			nil,
+			nil,
+		}
+		nopt.RetryBackoff = time.Microsecond
+		nopt.DisableFallback = true
+		opt := engine.DefaultOptions()
+		opt.Extra = nopt
+
+		res, err := runGuarded(t, func() (*engine.Result, error) { return det.Detect(g, opt) })
+		if err != nil {
+			if !typedChaosError(err) {
+				t.Fatalf("seed %d: untyped chaos error: %v", seed, err)
+			}
+			continue
+		}
+		checkPartition(t, g, res)
+		nres, ok := res.Extra.(*nulpa.Result)
+		if !ok {
+			t.Fatal("result does not carry the nulpa.Result extra")
+		}
+		if nres.Degraded {
+			t.Fatalf("seed %d: degraded despite per-shard recovery", seed)
+		}
+		for s, ss := range nres.ShardStats {
+			if s != 1 && (ss.Rollbacks != 0 || ss.Retries != 0) {
+				t.Fatalf("seed %d: clean shard %d recorded recovery work (%d rollbacks, %d retries)",
+					seed, s, ss.Rollbacks, ss.Retries)
+			}
+		}
+		if nres.ShardStats[1].Rollbacks > 0 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no seed produced a recovered single-shard rollback")
+	}
+}
+
 // TestChaosCancellationConformance: with a pre-canceled context, every
 // registered detector must return engine.ErrCanceled without running.
 func TestChaosCancellationConformance(t *testing.T) {

@@ -57,7 +57,7 @@ func TestListIsSortedAndComplete(t *testing.T) {
 	}
 	want := []string{
 		"copra", "flpa", "gunrock", "gvelpa", "labelrank",
-		"louvain", "nulpa", "nulpa-direct", "plp", "slpa",
+		"louvain", "nulpa", "nulpa-direct", "nulpa-sharded", "plp", "slpa",
 	}
 	if !slices.Equal(got, want) {
 		t.Errorf("engine.List() = %v, want %v", got, want)

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"nulpa/internal/telemetry"
+	"nulpa/internal/trace"
+)
+
+// ShardLoopConfig parameterizes the multi-device BSP convergence loop.
+type ShardLoopConfig struct {
+	LoopConfig
+	// Shards is the number of concurrent per-superstep bodies (>= 1).
+	Shards int
+	// OnSuperstep, when non-nil, is called after each superstep's halo
+	// exchange with the barrier wait (total idle time shards spent waiting
+	// for the slowest peer) and the number of halo labels exchanged.
+	OnSuperstep func(iter int, barrierWait time.Duration, exchanged int64)
+}
+
+// ShardLoop drives the BSP superstep loop of a sharded multi-device run:
+// every iteration fans the body out to all shards concurrently (each under
+// its own "shard-iteration" trace span), joins at the barrier, then runs the
+// halo exchange (under a "halo-exchange" span) before the convergence test.
+// Outcomes aggregate across shards — counters sum, ForceContinue holds if
+// any shard demands it, Stop only if every shard does — so the shared
+// tolerance rule applies to the global ΔN exactly as in the single-device
+// Loop. A failing shard aborts the superstep; typed interrupts win over
+// algorithmic errors so cancellation stays recognizable.
+func ShardLoop(cfg ShardLoopConfig,
+	body func(ctx context.Context, iter, shard int) IterOutcome,
+	exchange func(ctx context.Context, iter int) (int64, error)) LoopResult {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	return Loop(cfg.LoopConfig, func(ctx context.Context, iter int) IterOutcome {
+		outs := make([]IterOutcome, cfg.Shards)
+		durs := make([]time.Duration, cfg.Shards)
+		var wg sync.WaitGroup
+		for s := 0; s < cfg.Shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sctx, sspan := trace.Child(ctx, "shard-iteration")
+				st := time.Now()
+				out := body(sctx, iter, s)
+				durs[s] = time.Since(st)
+				if sspan != nil {
+					sspan.SetInt("shard", int64(s))
+					sspan.SetInt("deltaN", out.Record.DeltaN)
+					sspan.SetInt("moves", out.Record.Moves)
+					if out.Err != nil {
+						sspan.SetString("error", out.Err.Error())
+					}
+					sspan.End()
+				}
+				outs[s] = out
+			}(s)
+		}
+		wg.Wait()
+		agg := mergeOutcomes(outs)
+		if agg.Err != nil || agg.Stop || exchange == nil {
+			return agg
+		}
+		ectx, espan := trace.Child(ctx, "halo-exchange")
+		exchanged, err := exchange(ectx, iter)
+		if espan != nil {
+			espan.SetInt("iter", int64(iter))
+			espan.SetInt("exchanged", exchanged)
+			if err != nil {
+				espan.SetString("error", err.Error())
+			}
+			espan.End()
+		}
+		if err != nil {
+			agg.Err = err
+			return agg
+		}
+		if cfg.OnSuperstep != nil {
+			cfg.OnSuperstep(iter, barrierWait(durs), exchanged)
+		}
+		return agg
+	})
+}
+
+// mergeOutcomes folds per-shard outcomes into the superstep's aggregate:
+// counter fields sum (ΔN, moves, work, kernel time), flag fields OR. The
+// first interrupt-typed error wins; otherwise the first error by shard
+// order, keeping aggregation deterministic.
+func mergeOutcomes(outs []IterOutcome) IterOutcome {
+	agg := IterOutcome{Stop: len(outs) > 0}
+	for _, out := range outs {
+		agg.Record = addRecords(agg.Record, out.Record)
+		agg.ForceContinue = agg.ForceContinue || out.ForceContinue
+		agg.Stop = agg.Stop && out.Stop
+		if out.Err != nil {
+			if agg.Err == nil || (IsInterrupt(out.Err) && !IsInterrupt(agg.Err)) {
+				agg.Err = out.Err
+			}
+		}
+	}
+	if agg.Err != nil {
+		agg.Stop = false
+	}
+	return agg
+}
+
+// addRecords sums the counter fields of two iteration records and ORs the
+// phase flags. Kernel durations add up to total device time across shards
+// (they run concurrently, so this exceeds wall time by design — it is the
+// work ledger, not the critical path). Duration is left zero so Loop stamps
+// the superstep's wall time.
+func addRecords(a, b telemetry.IterRecord) telemetry.IterRecord {
+	a.PickLess = a.PickLess || b.PickLess
+	a.CrossCheck = a.CrossCheck || b.CrossCheck
+	a.Moves += b.Moves
+	a.Reverts += b.Reverts
+	a.DeltaN += b.DeltaN
+	a.Pruned += b.Pruned
+	a.Retries += b.Retries
+	a.ThreadKernel += b.ThreadKernel
+	a.BlockKernel += b.BlockKernel
+	a.CrossKernel += b.CrossKernel
+	a.HashAccumulates += b.HashAccumulates
+	a.HashProbes += b.HashProbes
+	a.HashCollisions += b.HashCollisions
+	a.HashFallbacks += b.HashFallbacks
+	// CASRetries is a process-wide delta measured over overlapping windows
+	// by concurrent shards; summing would multiply-count shared contention.
+	if b.CASRetries > a.CASRetries {
+		a.CASRetries = b.CASRetries
+	}
+	a.EdgeVisits += b.EdgeVisits
+	a.ActiveVertices += b.ActiveVertices
+	return a
+}
+
+// barrierWait is the BSP stall metric: the idle time shards spend at the
+// superstep barrier waiting for the slowest peer, Σ(max duration − dᵢ).
+func barrierWait(durs []time.Duration) time.Duration {
+	var max time.Duration
+	for _, d := range durs {
+		if d > max {
+			max = d
+		}
+	}
+	var wait time.Duration
+	for _, d := range durs {
+		wait += max - d
+	}
+	return wait
+}

@@ -47,7 +47,13 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 	if opt.Backend == BackendDirect {
 		return detectDirect(g, opt)
 	}
-	res, err := detectSIMT(g, opt)
+	var res *Result
+	var err error
+	if opt.Backend == BackendSharded {
+		res, err = detectSharded(g, opt)
+	} else {
+		res, err = detectSIMT(g, opt)
+	}
 	if err != nil && errors.Is(err, ErrFaulted) && !opt.DisableFallback {
 		// The degradation is the run's most important observability moment:
 		// it lands on the run's span as an event, in the log stream with the
@@ -62,6 +68,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		fopt.Backend = BackendDirect
 		fopt.Workers = 1 // sequential: the most conservative rung
 		fopt.Faults = nil
+		fopt.ShardFaults = nil
 		fres, ferr := detectDirect(g, fopt)
 		if ferr != nil {
 			return nil, ferr
@@ -87,6 +94,22 @@ func checkOptions(opt *Options) error {
 	}
 	if opt.BlockDim <= 0 {
 		opt.BlockDim = 256
+	}
+	if opt.Backend == BackendSharded {
+		if opt.Shards < 0 {
+			return fmt.Errorf("nulpa: Shards must be non-negative, got %d", opt.Shards)
+		}
+		if opt.Shards == 0 {
+			opt.Shards = DefaultShards
+		}
+		if opt.CrossCheckEvery > 0 {
+			// Cross-Check dereferences a label as a vertex id (leader lookup);
+			// under sharding labels are global ids while kernel arrays are
+			// shard-local, so the lookup has no local meaning. The BSP barrier
+			// already prevents the inter-device swap cycles CC exists for
+			// (semi-synchronous scheduling, Cordasco & Gargano).
+			return fmt.Errorf("nulpa: Cross-Check is not supported on the sharded backend")
+		}
 	}
 	return nil
 }
@@ -135,6 +158,74 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 	if dev == nil {
 		dev = simt.NewDevice(0)
 	}
+	r, err := newDeviceRun(g, opt, dev, runView{})
+	if err != nil {
+		return nil, err
+	}
+	defer r.free()
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lr := engine.Loop(engine.LoopConfig{
+		MaxIterations: opt.MaxIterations,
+		Threshold:     opt.Tolerance * float64(g.NumVertices()),
+		Ctx:           ctx,
+		Profiler:      opt.Profiler,
+	}, r.iterate)
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
+	r.res.Iterations = lr.Iterations
+	r.res.Converged = lr.Converged
+	r.res.Trace = lr.Trace
+	r.res.Duration = lr.Duration
+	r.res.Labels = r.st.labels
+	return r.res, nil
+}
+
+// runView parameterizes a deviceRun for shard-local execution. The zero
+// value is the whole-graph view the single-device backend uses.
+type runView struct {
+	// propagate limits the kernel lists to local ids strictly below it —
+	// a shard's owned vertices. Ghost rows beyond it hold halo labels the
+	// kernels read but never process. <= 0 means every vertex propagates.
+	propagate int
+	// labelBound is the exclusive upper bound of valid label values (the
+	// global vertex count under sharding, where labels are global ids while
+	// the local arrays are shorter). <= 0 means the local vertex count.
+	labelBound int
+	// labels, when non-nil, seeds the initial label array (a shard seeds
+	// each row with its global vertex id). nil means the identity labeling.
+	labels []uint32
+}
+
+// deviceRun is one device's share of a ν-LPA run: the kernel state, the
+// degree-partitioned launch lists, the per-iteration checkpoint, and the
+// recovery budget. The single-device backend owns exactly one; the sharded
+// backend owns one per shard and drives them through engine.ShardLoop, so
+// one shard's rollback/retry never restarts its peers.
+type deviceRun struct {
+	st         *runState
+	dev        *simt.Device
+	opt        Options
+	res        *Result
+	tk         *threadKernel
+	bk         *blockKernel
+	low, high  []graph.Vertex
+	n          int // local vertex count (the Cross-Check grid)
+	labelBound int
+	maxRetries int
+	backoff    time.Duration
+	bytes      int64
+
+	ckptLabels, ckptProcessed []uint32
+}
+
+// newDeviceRun allocates g's working set on dev and prepares the kernel
+// state under the given view. On success the caller owns the device
+// reservation and must free() it.
+func newDeviceRun(g *graph.CSR, opt Options, dev *simt.Device, view runView) (*deviceRun, error) {
 	if opt.Profiler != nil && dev.Prof == nil {
 		dev.Prof = opt.Profiler
 	}
@@ -151,7 +242,6 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 	if err := dev.Alloc(bytes); err != nil {
 		return nil, fmt.Errorf("nulpa: graph with %d arcs does not fit on device: %w", arcs, err)
 	}
-	defer dev.Free(bytes)
 
 	res := &Result{DeviceBytes: bytes}
 	if opt.TrackStats {
@@ -169,192 +259,204 @@ func detectSIMT(g *graph.CSR, opt Options) (*Result, error) {
 
 	st.labels = make([]uint32, n)
 	st.processed = make([]uint32, n)
-	for i := range st.labels {
-		st.labels[i] = uint32(i)
+	if view.labels != nil {
+		copy(st.labels, view.labels)
+	} else {
+		for i := range st.labels {
+			st.labels[i] = uint32(i)
+		}
 	}
 	if opt.CrossCheckEvery > 0 {
 		st.prev = make([]uint32, n)
 	}
 
-	low, high := partitionByDegree(g, opt.SwitchDegree)
-	tk := &threadKernel{runState: st, list: low, cand: make([]uint32, len(low))}
-	bk := &blockKernel{runState: st, list: high, blockDim: opt.BlockDim}
+	limit := view.propagate
+	if limit <= 0 {
+		limit = n
+	}
+	low, high := partitionByDegree(g, opt.SwitchDegree, limit)
 
-	ctx := opt.Context
-	if ctx == nil {
-		ctx = context.Background()
+	r := &deviceRun{
+		st:   st,
+		dev:  dev,
+		opt:  opt,
+		res:  res,
+		tk:   &threadKernel{runState: st, list: low, cand: make([]uint32, len(low))},
+		bk:   &blockKernel{runState: st, list: high, blockDim: opt.BlockDim},
+		low:  low,
+		high: high,
+		n:    n,
+
+		labelBound: view.labelBound,
+		maxRetries: opt.MaxRetries,
+		backoff:    opt.RetryBackoff,
+		bytes:      bytes,
+	}
+	if r.labelBound <= 0 {
+		r.labelBound = n
+	}
+	if r.maxRetries <= 0 {
+		r.maxRetries = 3
+	}
+	if r.backoff <= 0 {
+		r.backoff = 100 * time.Microsecond
 	}
 	if opt.Faults != nil && dev.Faults == nil {
 		dev.Faults = opt.Faults
-	}
-	maxRetries := opt.MaxRetries
-	if maxRetries <= 0 {
-		maxRetries = 3
-	}
-	backoff := opt.RetryBackoff
-	if backoff <= 0 {
-		backoff = 100 * time.Microsecond
 	}
 	// Checkpointing: with an injector (or Checkpoint forced), the labels and
 	// pruning flags are snapshotted before every iteration so a faulted
 	// attempt can be rolled back and re-executed. The snapshot is two O(V)
 	// copies per iteration — cheap next to the kernels' O(E) work.
-	var ckptLabels, ckptProcessed []uint32
 	if opt.Faults != nil || opt.Checkpoint {
-		ckptLabels = make([]uint32, n)
-		ckptProcessed = make([]uint32, n)
+		r.ckptLabels = make([]uint32, n)
+		r.ckptProcessed = make([]uint32, n)
+	}
+	return r, nil
+}
+
+// free releases the run's device memory reservation.
+func (r *deviceRun) free() { r.dev.Free(r.bytes) }
+
+// iterate executes one ν-LPA iteration on the run's device, including the
+// rollback/retry recovery ladder. It is the body detectSIMT hands to
+// engine.Loop and detectSharded hands (per shard) to engine.ShardLoop.
+func (r *deviceRun) iterate(ctx context.Context, iter int) engine.IterOutcome {
+	st, res, opt, dev := r.st, r.res, r.opt, r.dev
+	// ctx carries the iteration's trace span (shadowing the run context),
+	// so kernel launches below nest under the iteration and recovery
+	// activity lands on it as events.
+	ispan := trace.FromContext(ctx)
+	st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
+	crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
+	if r.ckptLabels != nil {
+		copy(r.ckptLabels, st.labels)
+		copy(r.ckptProcessed, st.processed)
 	}
 
-	lr := engine.Loop(engine.LoopConfig{
-		MaxIterations: opt.MaxIterations,
-		Threshold:     opt.Tolerance * float64(n),
-		Ctx:           ctx,
-		Profiler:      opt.Profiler,
-	}, func(ctx context.Context, iter int) engine.IterOutcome {
-		// ctx carries the iteration's trace span (shadowing the run context),
-		// so kernel launches below nest under the iteration and recovery
-		// activity lands on it as events.
-		ispan := trace.FromContext(ctx)
-		st.pickless = opt.PickLessEvery > 0 && iter%opt.PickLessEvery == 0
-		crosscheck := opt.CrossCheckEvery > 0 && iter%opt.CrossCheckEvery == 0
-		if ckptLabels != nil {
-			copy(ckptLabels, st.labels)
-			copy(ckptProcessed, st.processed)
+	// Recovery loop: attempt the iteration, and on a launch fault or a
+	// corrupted label array roll back to the checkpoint and retry with
+	// exponential backoff, up to maxRetries consecutive attempts.
+	var tkDur, bkDur, ckDur time.Duration
+	var pruned, retries int64
+	var hashBase hashtable.StatsSnapshot
+	var casBase simt.ContentionCounts
+	for attempt := 0; ; attempt++ {
+		atomic.StoreInt64(&st.deltaN, 0)
+		atomic.StoreInt64(&st.reverts, 0)
+		st.iterEdges, st.iterActive = 0, 0
+		if crosscheck {
+			copy(st.prev, st.labels)
+		}
+		hashBase = res.HashStats.Snapshot()
+		casBase = simt.ContentionSnapshot()
+		pruned = 0
+		if opt.Profiler != nil && !st.noPrune {
+			pruned = countPruned(st.processed)
 		}
 
-		// Recovery loop: attempt the iteration, and on a launch fault or a
-		// corrupted label array roll back to the checkpoint and retry with
-		// exponential backoff, up to maxRetries consecutive attempts.
-		var tkDur, bkDur, ckDur time.Duration
-		var pruned, retries int64
-		var hashBase hashtable.StatsSnapshot
-		var casBase simt.ContentionCounts
-		for attempt := 0; ; attempt++ {
-			atomic.StoreInt64(&st.deltaN, 0)
-			atomic.StoreInt64(&st.reverts, 0)
-			st.iterEdges, st.iterActive = 0, 0
+		err := func() error {
+			if len(r.low) > 0 {
+				t0 := time.Now()
+				if err := dev.LaunchKernel1D(ctx, len(r.low), opt.BlockDim, r.tk); err != nil {
+					return err
+				}
+				tkDur = time.Since(t0)
+			}
+			if len(r.high) > 0 {
+				t0 := time.Now()
+				if err := dev.LaunchKernel(ctx, len(r.high), opt.BlockDim, r.bk); err != nil {
+					return err
+				}
+				bkDur = time.Since(t0)
+			}
 			if crosscheck {
-				copy(st.prev, st.labels)
-			}
-			hashBase = res.HashStats.Snapshot()
-			casBase = simt.ContentionSnapshot()
-			pruned = 0
-			if opt.Profiler != nil && !st.noPrune {
-				pruned = countPruned(st.processed)
-			}
-
-			err := func() error {
-				if len(low) > 0 {
-					t0 := time.Now()
-					if err := dev.LaunchKernel1D(ctx, len(low), opt.BlockDim, tk); err != nil {
-						return err
-					}
-					tkDur = time.Since(t0)
+				ck := &crossCheckKernel{runState: st}
+				t0 := time.Now()
+				if err := dev.LaunchKernel1D(ctx, r.n, opt.BlockDim, ck); err != nil {
+					return err
 				}
-				if len(high) > 0 {
-					t0 := time.Now()
-					if err := dev.LaunchKernel(ctx, len(high), opt.BlockDim, bk); err != nil {
-						return err
-					}
-					bkDur = time.Since(t0)
-				}
-				if crosscheck {
-					ck := &crossCheckKernel{runState: st}
-					t0 := time.Now()
-					if err := dev.LaunchKernel1D(ctx, n, opt.BlockDim, ck); err != nil {
-						return err
-					}
-					ckDur = time.Since(t0)
-				}
-				return nil
-			}()
-			if err == nil {
-				// Transient-memory fault injection happens after the kernels
-				// so a flip can hit any position the iteration wrote.
-				opt.Faults.CorruptLabels(st.labels)
-				if ckptLabels != nil && !labelsValid(st.labels, n) {
-					mCorruptions.Inc()
-					ispan.Event("fault:corrupt-labels", map[string]any{"attempt": int64(attempt)})
-					err = ErrCorruptLabels
-				}
+				ckDur = time.Since(t0)
 			}
-			if err == nil {
-				break
-			}
-			// Cancellation and deadline expiry are not faults; surface them
-			// as the run's typed interrupt without burning retries.
-			if cerr := ctx.Err(); cerr != nil {
-				return engine.IterOutcome{Err: engine.CtxErr(cerr)}
-			}
-			if ckptLabels == nil {
-				// No checkpoint to roll back to (fault without injection or
-				// Checkpoint): the run cannot be repaired in place.
-				return engine.IterOutcome{Err: fmt.Errorf("%w: iteration %d: %v", ErrFaulted, iter, err)}
-			}
-			copy(st.labels, ckptLabels)
-			copy(st.processed, ckptProcessed)
-			res.Rollbacks++
-			mRollbacks.Inc()
-			ispan.Event("rollback", map[string]any{"attempt": int64(attempt), "error": err.Error()})
-			if attempt+1 >= maxRetries {
-				return engine.IterOutcome{Err: fmt.Errorf("%w: iteration %d failed %d consecutive attempts, last: %v",
-					ErrFaulted, iter, attempt+1, err)}
-			}
-			retries++
-			res.Retries++
-			mRetries.Inc()
-			ispan.Event("retry", map[string]any{"attempt": int64(attempt + 1)})
-			if !sleepCtx(ctx, backoff<<attempt) {
-				return engine.IterOutcome{Err: engine.CtxErr(ctx.Err())}
+			return nil
+		}()
+		if err == nil {
+			// Transient-memory fault injection happens after the kernels
+			// so a flip can hit any position the iteration wrote.
+			opt.Faults.CorruptLabels(st.labels)
+			if r.ckptLabels != nil && !labelsValid(st.labels, r.labelBound) {
+				mCorruptions.Inc()
+				ispan.Event("fault:corrupt-labels", map[string]any{"attempt": int64(attempt)})
+				err = ErrCorruptLabels
 			}
 		}
-
-		gross := atomic.LoadInt64(&st.deltaN)
-		reverts := atomic.LoadInt64(&st.reverts)
-		delta := gross - reverts
-		res.Moves += delta
-		res.Reverts += reverts
-		res.DeltaHistory = append(res.DeltaHistory, delta)
-		rec := IterStat{
-			PickLess:       st.pickless,
-			CrossCheck:     crosscheck,
-			Moves:          gross,
-			Reverts:        reverts,
-			DeltaN:         delta,
-			Pruned:         pruned,
-			Retries:        retries,
-			ThreadKernel:   tkDur,
-			BlockKernel:    bkDur,
-			CrossKernel:    ckDur,
-			CASRetries:     simt.ContentionSnapshot().Sub(casBase).Total(),
-			EdgeVisits:     st.iterEdges,
-			ActiveVertices: st.iterActive,
+		if err == nil {
+			break
 		}
-		if res.HashStats != nil {
-			d := res.HashStats.Snapshot().Sub(hashBase)
-			rec.HashAccumulates = d.Accumulates
-			rec.HashProbes = d.Probes
-			rec.HashCollisions = d.Collisions
-			rec.HashFallbacks = d.Fallbacks
+		// Cancellation and deadline expiry are not faults; surface them
+		// as the run's typed interrupt without burning retries.
+		if cerr := ctx.Err(); cerr != nil {
+			return engine.IterOutcome{Err: engine.CtxErr(cerr)}
 		}
-		return engine.IterOutcome{
-			Record: rec,
-			// Pick-Less iterations intentionally move few vertices and must
-			// not count as convergence.
-			ForceContinue: st.pickless,
-			// A fixed point under permanent Pick-Less is also converged.
-			Stop: delta == 0 && opt.PickLessEvery == 1,
+		if r.ckptLabels == nil {
+			// No checkpoint to roll back to (fault without injection or
+			// Checkpoint): the run cannot be repaired in place.
+			return engine.IterOutcome{Err: fmt.Errorf("%w: iteration %d: %v", ErrFaulted, iter, err)}
 		}
-	})
-	if lr.Err != nil {
-		return nil, lr.Err
+		copy(st.labels, r.ckptLabels)
+		copy(st.processed, r.ckptProcessed)
+		res.Rollbacks++
+		mRollbacks.Inc()
+		ispan.Event("rollback", map[string]any{"attempt": int64(attempt), "error": err.Error()})
+		if attempt+1 >= r.maxRetries {
+			return engine.IterOutcome{Err: fmt.Errorf("%w: iteration %d failed %d consecutive attempts, last: %v",
+				ErrFaulted, iter, attempt+1, err)}
+		}
+		retries++
+		res.Retries++
+		mRetries.Inc()
+		ispan.Event("retry", map[string]any{"attempt": int64(attempt + 1)})
+		if !sleepCtx(ctx, r.backoff<<attempt) {
+			return engine.IterOutcome{Err: engine.CtxErr(ctx.Err())}
+		}
 	}
-	res.Iterations = lr.Iterations
-	res.Converged = lr.Converged
-	res.Trace = lr.Trace
-	res.Duration = lr.Duration
-	res.Labels = st.labels
-	return res, nil
+
+	gross := atomic.LoadInt64(&st.deltaN)
+	reverts := atomic.LoadInt64(&st.reverts)
+	delta := gross - reverts
+	res.Moves += delta
+	res.Reverts += reverts
+	res.DeltaHistory = append(res.DeltaHistory, delta)
+	rec := IterStat{
+		PickLess:       st.pickless,
+		CrossCheck:     crosscheck,
+		Moves:          gross,
+		Reverts:        reverts,
+		DeltaN:         delta,
+		Pruned:         pruned,
+		Retries:        retries,
+		ThreadKernel:   tkDur,
+		BlockKernel:    bkDur,
+		CrossKernel:    ckDur,
+		CASRetries:     simt.ContentionSnapshot().Sub(casBase).Total(),
+		EdgeVisits:     st.iterEdges,
+		ActiveVertices: st.iterActive,
+	}
+	if res.HashStats != nil {
+		d := res.HashStats.Snapshot().Sub(hashBase)
+		rec.HashAccumulates = d.Accumulates
+		rec.HashProbes = d.Probes
+		rec.HashCollisions = d.Collisions
+		rec.HashFallbacks = d.Fallbacks
+	}
+	return engine.IterOutcome{
+		Record: rec,
+		// Pick-Less iterations intentionally move few vertices and must
+		// not count as convergence.
+		ForceContinue: st.pickless,
+		// A fixed point under permanent Pick-Less is also converged.
+		Stop: delta == 0 && opt.PickLessEvery == 1,
+	}
 }
 
 // labelsValid is the partition-validity check the recovery path runs after
@@ -402,9 +504,14 @@ func countPruned(flags []uint32) int64 {
 // partitionByDegree splits vertices into the thread-per-vertex list (degree
 // in [1, switchDegree)) and the block-per-vertex list (degree >=
 // switchDegree). Isolated vertices are excluded — they keep their own label
-// forever. A switchDegree of 0 sends every vertex to the block kernel.
-func partitionByDegree(g *graph.CSR, switchDegree int) (low, high []graph.Vertex) {
-	n := g.NumVertices()
+// forever. A switchDegree of 0 sends every vertex to the block kernel. Only
+// vertices below limit are listed: a shard propagates its owned rows while
+// ghost rows are read-only halo state.
+func partitionByDegree(g *graph.CSR, switchDegree, limit int) (low, high []graph.Vertex) {
+	n := limit
+	if n > g.NumVertices() {
+		n = g.NumVertices()
+	}
 	for i := 0; i < n; i++ {
 		d := g.Degree(graph.Vertex(i))
 		if d == 0 {

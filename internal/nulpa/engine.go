@@ -11,19 +11,23 @@ import (
 func init() {
 	engine.Register(Detector{Backend: BackendSIMT})
 	engine.Register(Detector{Backend: BackendDirect})
+	engine.Register(Detector{Backend: BackendSharded})
 }
 
-// Detector adapts ν-LPA to the engine seam. The two backends register as
-// separate detectors ("nulpa" and "nulpa-direct") because they are compared
-// against each other in the figure experiments.
+// Detector adapts ν-LPA to the engine seam. The backends register as
+// separate detectors ("nulpa", "nulpa-direct" and "nulpa-sharded") because
+// they are compared against each other in the figure experiments.
 type Detector struct {
 	Backend Backend
 }
 
 // Name implements engine.Detector.
 func (d Detector) Name() string {
-	if d.Backend == BackendDirect {
+	switch d.Backend {
+	case BackendDirect:
 		return "nulpa-direct"
+	case BackendSharded:
+		return "nulpa-sharded"
 	}
 	return "nulpa"
 }
@@ -37,6 +41,9 @@ func (d Detector) Name() string {
 // Cross-Check periods, probing scheme, switch degree, pruning).
 func (d Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
 	nopt := DefaultOptions()
+	if d.Backend == BackendSharded {
+		nopt = DefaultShardedOptions()
+	}
 	if opt.Extra != nil {
 		o, ok := opt.Extra.(Options)
 		if !ok {
@@ -62,6 +69,12 @@ func (d Detector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, erro
 		if d.Backend == BackendSIMT && nopt.Device == nil {
 			nopt.Device = simt.NewDevice(opt.Workers)
 		}
+	}
+	if d.Backend == BackendSharded && nopt.CrossCheckEvery > 0 {
+		// An Extra carrying the single-device configuration stays usable on
+		// the sharded detector: Cross-Check simply cannot run there (the BSP
+		// barrier supersedes it — see checkOptions).
+		nopt.CrossCheckEvery = 0
 	}
 	if opt.Profiler != nil {
 		nopt.Profiler = opt.Profiler

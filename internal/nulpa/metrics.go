@@ -15,3 +15,20 @@ var (
 	mFallbacks = metrics.NewCounter("nulpa_backend_fallbacks_total",
 		"Runs downgraded from the simt backend to the sequential backend.")
 )
+
+// Sharded-execution metrics. The per-shard families are labeled by shard id,
+// so /debug/perf and the bench work ledger can attribute halo traffic and
+// memory to individual devices.
+var (
+	mShardHaloLabels = metrics.NewCounterVec("nulpa_shard_halo_labels_total",
+		"Changed ghost labels received at BSP superstep barriers, per shard.", "shard")
+	mShardCutEdges = metrics.NewGaugeVec("nulpa_shard_cut_edges",
+		"Boundary-cut arcs of the most recent sharded run, per shard.", "shard")
+	mShardMemBytes = metrics.NewGaugeVec("nulpa_shard_mem_bytes",
+		"Simulated device memory reserved by the most recent sharded run, per shard.", "shard")
+	mShardBarrierWait = metrics.NewHistogram("nulpa_shard_barrier_wait_seconds",
+		"Idle time shards spent at the BSP barrier waiting for the slowest peer, per superstep.",
+		metrics.ExpBuckets(1e-6, 4, 12))
+	mShardSupersteps = metrics.NewCounter("nulpa_shard_supersteps_total",
+		"BSP supersteps (barrier crossings) executed by the sharded backend.")
+)

@@ -32,15 +32,25 @@ const (
 	BackendSIMT Backend = iota
 	// BackendDirect executes as a chunked multicore parallel loop.
 	BackendDirect
+	// BackendSharded partitions the graph across Shards simulated devices
+	// and runs BSP supersteps with halo exchange at the barriers.
+	BackendSharded
 )
 
 // String names the backend.
 func (b Backend) String() string {
-	if b == BackendDirect {
+	switch b {
+	case BackendDirect:
 		return "direct"
+	case BackendSharded:
+		return "sharded"
 	}
 	return "simt"
 }
+
+// DefaultShards is the device count BackendSharded uses when Options.Shards
+// is left zero.
+const DefaultShards = 4
 
 // Options configure a ν-LPA run. DefaultOptions matches the paper's final
 // configuration.
@@ -115,6 +125,19 @@ type Options struct {
 	// backend: Detect returns ErrFaulted instead of degrading to the
 	// sequential backend.
 	DisableFallback bool
+	// Shards is the simulated device count for BackendSharded (clamped to
+	// the vertex count; 0 selects DefaultShards). Other backends ignore it.
+	Shards int
+	// ShardParts, when non-nil, supplies a precomputed vertex→shard
+	// assignment (length |V|, values < Shards) and skips the internal
+	// partitioner — bring-your-own-partition for tests and external
+	// partition pipelines. BackendSharded only.
+	ShardParts []uint32
+	// ShardFaults, when non-nil, installs a per-shard fault injector on each
+	// shard's device (index = shard id; nil entries leave that shard
+	// fault-free), overriding Faults for those devices. This is how chaos
+	// tests fault one shard while its peers run clean. BackendSharded only.
+	ShardFaults []*faults.Injector
 }
 
 // DefaultOptions returns the paper's published configuration: 20 iterations,
@@ -131,6 +154,21 @@ func DefaultOptions() Options {
 		BlockDim:      256,
 		Backend:       BackendSIMT,
 	}
+}
+
+// DefaultShardedOptions returns the paper configuration adapted for
+// multi-device execution: BackendSharded across DefaultShards devices, with
+// Cross-Check off (unsupported under sharding — the BSP barrier supersedes
+// it; see checkOptions). Pick-Less tightens to ρ = 3: ghost labels are one
+// superstep stale, so boundary vertices oscillate more than the
+// single-device run, and a slightly more frequent tie-break keeps the total
+// edge visits within ~1.1× of single-device at matched quality.
+func DefaultShardedOptions() Options {
+	opt := DefaultOptions()
+	opt.Backend = BackendSharded
+	opt.Shards = DefaultShards
+	opt.PickLessEvery = 3
+	return opt
 }
 
 // IterStat is one iteration's diagnostic record — the shared telemetry
@@ -173,4 +211,34 @@ type Result struct {
 	// Degraded reports that the simt backend exhausted its recovery budget
 	// and the run completed on the sequential backend instead.
 	Degraded bool
+	// HaloLabels is the total number of changed ghost labels exchanged at
+	// BSP superstep barriers (BackendSharded).
+	HaloLabels int64
+	// CutArcs is the number of boundary-crossing arcs of the shard plan
+	// (BackendSharded; each cut undirected edge counted twice).
+	CutArcs int64
+	// ShardStats holds per-shard execution detail (BackendSharded; one
+	// entry per shard).
+	ShardStats []ShardStat
+}
+
+// ShardStat is one shard's share of a sharded run.
+type ShardStat struct {
+	// Shard is the shard id.
+	Shard int
+	// Owned is the number of vertices the shard is authoritative for.
+	Owned int
+	// Ghosts is the number of halo rows mirrored from other shards.
+	Ghosts int
+	// CutArcs counts arcs from owned vertices into the halo.
+	CutArcs int64
+	// DeviceBytes is the shard device's memory reservation.
+	DeviceBytes int64
+	// HaloLabelsIn is the number of changed ghost labels this shard
+	// received across all supersteps.
+	HaloLabelsIn int64
+	// Retries and Rollbacks are the shard's fault-recovery counts; a fault
+	// on one shard rolls back that shard only.
+	Retries   int64
+	Rollbacks int64
 }

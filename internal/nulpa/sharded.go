@@ -1,0 +1,210 @@
+package nulpa
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"time"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+	"nulpa/internal/hashtable"
+	"nulpa/internal/partition"
+	"nulpa/internal/shard"
+	"nulpa/internal/simt"
+)
+
+// detectSharded runs ν-LPA partitioned across Options.Shards simulated
+// devices in BSP supersteps (the multi-GPU decomposition of Forster's
+// parallel Louvain, with Cordasco & Gargano's semi-synchronous barrier):
+//
+//  1. internal/partition splits the CSR into K balanced shards with its
+//     size-constrained LPA partitioner (or Options.ShardParts supplies one).
+//  2. internal/shard builds each shard's local CSR — owned rows plus ghost
+//     halo rows — and the global↔local remap.
+//  3. One deviceRun per shard executes the unchanged thread-per-vertex /
+//     block-per-vertex kernels over its owned rows, concurrently with its
+//     peers, under engine.ShardLoop.
+//  4. At each superstep barrier, only ghost labels whose owner copy changed
+//     are exchanged, and the receiving shard's affected vertices are woken
+//     (pruning flags cleared).
+//
+// Labels are global vertex ids throughout, so communities merge across
+// shard boundaries and Pick-Less ordering stays globally consistent.
+// Per-shard checkpoints mean a fault on one shard rolls back and retries
+// that shard alone; peers proceed to the barrier and wait.
+func detectSharded(g *graph.CSR, opt Options) (*Result, error) {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return &Result{Labels: []uint32{}, Converged: true}, nil
+	}
+	k := opt.Shards
+	if k > n {
+		k = n
+	}
+
+	parts := opt.ShardParts
+	if parts == nil {
+		popt := partition.DefaultOptions(k)
+		// Every cut arc becomes halo traffic and boundary re-processing, so
+		// trade a little balance slack and a few multi-start refinements for
+		// a lower cut — on the Table 1 stand-ins this keeps the sharded
+		// backend's edge visits within ~1.1× of the single-device run.
+		popt.Imbalance = 0.1
+		popt.Restarts = 4
+		popt.Workers = opt.Workers
+		popt.Context = ctx
+		pres, err := partition.Partition(g, popt)
+		if err != nil {
+			return nil, err
+		}
+		parts = pres.Parts
+	} else if len(parts) != n {
+		return nil, fmt.Errorf("nulpa: ShardParts length %d, graph has %d vertices", len(parts), n)
+	}
+	plan, err := shard.Build(g, parts, k)
+	if err != nil {
+		return nil, fmt.Errorf("nulpa: %w", err)
+	}
+
+	// One device per shard. Workers bounds each device's SM count (1 SM per
+	// device keeps a run deterministic, matching the conformance contract);
+	// unset, the host parallelism is divided across the devices.
+	sms := opt.Workers
+	if sms <= 0 {
+		sms = runtime.GOMAXPROCS(0) / k
+		if sms < 1 {
+			sms = 1
+		}
+	}
+
+	res := &Result{ShardStats: make([]ShardStat, k), CutArcs: plan.CutArcs}
+	if opt.TrackStats {
+		res.HashStats = &hashtable.Stats{}
+	}
+	runs := make([]*deviceRun, k)
+	defer func() {
+		for _, r := range runs {
+			if r != nil {
+				r.free()
+			}
+		}
+	}()
+	for s, sh := range plan.Shards {
+		sopt := opt
+		sopt.Device = nil
+		if opt.ShardFaults != nil {
+			sopt.Faults = nil
+			if s < len(opt.ShardFaults) {
+				sopt.Faults = opt.ShardFaults[s]
+			}
+		}
+		init := make([]uint32, sh.NumLocal())
+		for l, gid := range sh.GlobalID {
+			init[l] = gid
+		}
+		run, err := newDeviceRun(sh.Local, sopt, simt.NewDevice(sms),
+			runView{propagate: sh.Owned, labelBound: n, labels: init})
+		if err != nil {
+			return nil, err
+		}
+		runs[s] = run
+		res.DeviceBytes += run.bytes
+		res.ShardStats[s] = ShardStat{
+			Shard:       s,
+			Owned:       sh.Owned,
+			Ghosts:      len(sh.Ghosts),
+			CutArcs:     sh.CutArcs,
+			DeviceBytes: run.bytes,
+		}
+		lbl := strconv.Itoa(s)
+		mShardCutEdges.With(lbl).Set(float64(sh.CutArcs))
+		mShardMemBytes.With(lbl).Set(float64(run.dev.MemUsed()))
+	}
+
+	labelArrs := make([][]uint32, k)
+	for s, r := range runs {
+		labelArrs[s] = r.st.labels
+	}
+
+	lr := engine.ShardLoop(engine.ShardLoopConfig{
+		LoopConfig: engine.LoopConfig{
+			MaxIterations: opt.MaxIterations,
+			Threshold:     opt.Tolerance * float64(n),
+			Ctx:           ctx,
+			Profiler:      opt.Profiler,
+		},
+		Shards: k,
+		OnSuperstep: func(_ int, wait time.Duration, _ int64) {
+			mShardSupersteps.Inc()
+			mShardBarrierWait.Observe(wait.Seconds())
+		},
+	}, func(ctx context.Context, iter, s int) engine.IterOutcome {
+		return runs[s].iterate(ctx, iter)
+	}, func(_ context.Context, _ int) (int64, error) {
+		// The exchange runs on one goroutine between barriers, shards in
+		// ascending order — deterministic regardless of how the superstep's
+		// device goroutines were scheduled.
+		st := plan.Exchange(labelArrs, func(s int, ghost graph.Vertex) {
+			wakeGhostNeighbors(runs[s].st, ghost)
+		})
+		for s, c := range st.PerShard {
+			if c > 0 {
+				res.ShardStats[s].HaloLabelsIn += c
+				mShardHaloLabels.With(strconv.Itoa(s)).Add(c)
+			}
+		}
+		res.HaloLabels += st.Updated
+		return st.Updated, nil
+	})
+	if lr.Err != nil {
+		return nil, lr.Err
+	}
+
+	res.Iterations = lr.Iterations
+	res.Converged = lr.Converged
+	res.Trace = lr.Trace
+	res.Duration = lr.Duration
+	for s, r := range runs {
+		res.Moves += r.res.Moves
+		res.Reverts += r.res.Reverts
+		res.Retries += r.res.Retries
+		res.Rollbacks += r.res.Rollbacks
+		res.ShardStats[s].Retries = r.res.Retries
+		res.ShardStats[s].Rollbacks = r.res.Rollbacks
+		if res.HashStats != nil {
+			addStats(res.HashStats, r.res.HashStats.Snapshot())
+		}
+	}
+	for _, rec := range lr.Trace {
+		res.DeltaHistory = append(res.DeltaHistory, rec.DeltaN)
+	}
+	res.Labels = plan.Gather(labelArrs)
+	return res, nil
+}
+
+// wakeGhostNeighbors clears the pruning flags of every owned vertex adjacent
+// to a ghost whose label just changed: their best-label decision may have
+// shifted, so they must be reprocessed next superstep. Ghost rows hold
+// exactly the reverse arcs into owned rows, so the scan is minimal.
+func wakeGhostNeighbors(st *runState, ghost graph.Vertex) {
+	ts, _ := st.g.Neighbors(ghost)
+	for _, j := range ts {
+		simt.AtomicStoreUint32(st.processed, int(j), 0)
+	}
+}
+
+// addStats folds a per-shard probe-accounting snapshot into the merged
+// Result-level Stats.
+func addStats(dst *hashtable.Stats, s hashtable.StatsSnapshot) {
+	dst.Accumulates.Add(s.Accumulates)
+	dst.Probes.Add(s.Probes)
+	dst.Collisions.Add(s.Collisions)
+	dst.Fallbacks.Add(s.Fallbacks)
+	dst.Failures.Add(s.Failures)
+}

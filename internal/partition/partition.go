@@ -14,6 +14,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -22,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/graph"
 	"nulpa/internal/quality"
 )
@@ -40,8 +42,17 @@ type Options struct {
 	Tolerance float64
 	// Seed drives the initial assignment shuffle.
 	Seed int64
+	// Restarts runs that many independent refinements (seeds Seed, Seed+1,
+	// …) and keeps the lowest-cut result — the multi-start practice of the
+	// PuLP family, where initial-assignment luck dominates final cut
+	// quality. 0 or 1 means a single run.
+	Restarts int
 	// Workers bounds parallelism; 0 selects GOMAXPROCS.
 	Workers int
+	// Context, when set, cancels the run between sweep chunks. An
+	// interrupted run returns engine.ErrCanceled or engine.ErrDeadline,
+	// the same typed contract the detectors follow.
+	Context context.Context
 }
 
 // DefaultOptions returns a PuLP-like configuration.
@@ -65,8 +76,38 @@ type Result struct {
 	Duration   time.Duration
 }
 
-// Partition computes a balanced k-way partition of g.
+// Partition computes a balanced k-way partition of g, keeping the lowest-cut
+// result over Options.Restarts independent refinements.
 func Partition(g *graph.CSR, opt Options) (*Result, error) {
+	restarts := opt.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	start := time.Now()
+	var best *Result
+	iters := 0
+	for r := 0; r < restarts; r++ {
+		ropt := opt
+		ropt.Seed = opt.Seed + int64(r)
+		res, err := partitionOnce(g, ropt)
+		if err != nil {
+			return nil, err
+		}
+		iters += res.Iterations
+		if best == nil || res.CutWeight < best.CutWeight {
+			best = res
+		}
+		if best.CutWeight == 0 {
+			break // a zero-cut partition cannot be improved
+		}
+	}
+	best.Iterations = iters
+	best.Duration = time.Since(start)
+	return best, nil
+}
+
+// partitionOnce runs one seeded assignment-plus-refinement pass.
+func partitionOnce(g *graph.CSR, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	k := opt.Parts
 	if k < 1 {
@@ -85,10 +126,30 @@ func Partition(g *graph.CSR, opt Options) (*Result, error) {
 	if k > n && n > 0 {
 		k = n
 	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{}
 	if n == 0 {
 		res.Parts = []uint32{}
+		res.Converged = true
 		return res, nil
+	}
+
+	// Trivial partitions need no refinement: with k = 1 every vertex shares
+	// part 0, and with k = n (including k clamped down from above, and the
+	// singleton graph) each vertex is its own part. Returning early keeps the
+	// capacity math out of its degenerate corners (capacity 1 parts that can
+	// never admit a move).
+	if k == 1 || k == n {
+		parts := make([]uint32, n)
+		if k == n {
+			for v := range parts {
+				parts[v] = uint32(v)
+			}
+		}
+		return trivialResult(g, parts), nil
 	}
 
 	ideal := (n + k - 1) / k
@@ -118,6 +179,9 @@ func Partition(g *graph.CSR, opt Options) (*Result, error) {
 	start := time.Now()
 	const chunk = 1024
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, engine.CtxErr(err)
+		}
 		var moves int64
 		var cursor int64
 		var wg sync.WaitGroup
@@ -129,6 +193,11 @@ func Partition(g *graph.CSR, opt Options) (*Result, error) {
 				touched := make([]uint32, 0, 16)
 				var local int64
 				for {
+					// Cancellation is checked per chunk claim so a canceled
+					// sweep drains within one chunk of work per worker.
+					if ctx.Err() != nil {
+						break
+					}
 					c := atomic.AddInt64(&cursor, chunk) - chunk
 					if c >= int64(n) {
 						break
@@ -147,6 +216,9 @@ func Partition(g *graph.CSR, opt Options) (*Result, error) {
 			}()
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, engine.CtxErr(err)
+		}
 		res.Iterations = iter + 1
 		if float64(moves) < opt.Tolerance*float64(n) {
 			res.Converged = true
@@ -164,6 +236,13 @@ func Partition(g *graph.CSR, opt Options) (*Result, error) {
 	}
 	res.Imbalance = float64(maxSize)/float64(ideal) - 1
 	return res, nil
+}
+
+// trivialResult wraps a fixed assignment in a converged zero-sweep Result.
+func trivialResult(g *graph.CSR, parts []uint32) *Result {
+	res := &Result{Parts: parts, Converged: true}
+	res.CutWeight, res.CutFraction = quality.EdgeCut(g, parts)
+	return res
 }
 
 // moveVertex relocates v to its most connected part if the move reduces cut

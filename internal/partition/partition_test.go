@@ -1,10 +1,14 @@
 package partition
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
+	"nulpa/internal/engine"
 	"nulpa/internal/gen"
 	"nulpa/internal/graph"
 	"nulpa/internal/quality"
@@ -108,6 +112,77 @@ func TestEmptyGraph(t *testing.T) {
 	}
 	if len(res.Parts) != 0 {
 		t.Errorf("parts = %v", res.Parts)
+	}
+}
+
+func TestTrivialPartitions(t *testing.T) {
+	// k = 1 needs no sweeps: all vertices in part 0, converged immediately.
+	g := gen.Cycle(50)
+	res, err := Partition(g, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Errorf("k=1: converged=%v iterations=%d, want trivial convergence", res.Converged, res.Iterations)
+	}
+
+	// k >= N clamps to N and gives each vertex its own part.
+	res, err = Partition(gen.Cycle(5), DefaultOptions(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, p := range res.Parts {
+		seen[p] = true
+	}
+	if len(seen) != 5 || !res.Converged {
+		t.Errorf("k>=N: %d distinct parts (want 5), converged=%v", len(seen), res.Converged)
+	}
+
+	// Singleton graph: one vertex, one part, regardless of requested k.
+	res, err = Partition(gen.MatchedPairs(0), DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("empty graph did not report convergence")
+	}
+	single, err := graph.FromEdges(nil, 1, graph.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Partition(single, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 1 || res.Parts[0] != 0 || !res.Converged {
+		t.Errorf("singleton: parts=%v converged=%v", res.Parts, res.Converged)
+	}
+}
+
+func TestPartitionCanceled(t *testing.T) {
+	g := gen.Road(gen.DefaultRoad(2000, 4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := DefaultOptions(4)
+	opt.Context = ctx
+	res, err := Partition(g, opt)
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("err = %v, want engine.ErrCanceled", err)
+	}
+	if res != nil {
+		t.Error("canceled run returned a result")
+	}
+}
+
+func TestPartitionDeadline(t *testing.T) {
+	g := gen.Road(gen.DefaultRoad(2000, 4))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	opt := DefaultOptions(4)
+	opt.Context = ctx
+	if _, err := Partition(g, opt); !errors.Is(err, engine.ErrDeadline) {
+		t.Fatalf("err = %v, want engine.ErrDeadline", err)
 	}
 }
 

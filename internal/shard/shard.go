@@ -1,0 +1,266 @@
+// Package shard builds shard-local views of a partitioned CSR graph for
+// multi-device execution: each shard gets its own compact CSR holding the
+// rows it owns plus ghost rows for boundary neighbours owned by other
+// shards, together with the global↔local vertex remap and the ghost
+// provenance needed to exchange boundary labels at BSP superstep barriers.
+//
+// The layout follows the multi-GPU decomposition of Forster's parallel
+// Louvain (see PAPERS.md): owned vertices occupy local ids [0, Owned) in
+// ascending global order, ghosts occupy [Owned, NumVertices) in ascending
+// global order. Ghost rows carry the reverse arcs back to the owned side, so
+// each local CSR is a valid symmetric graph and a changed ghost label can
+// wake exactly the owned vertices that observe it.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"nulpa/internal/graph"
+)
+
+// Ghost records where a ghost row's authoritative copy lives.
+type Ghost struct {
+	// Local is the ghost's row in the importing shard's local CSR
+	// (always >= Owned).
+	Local graph.Vertex
+	// Owner is the shard that owns the vertex.
+	Owner int
+	// OwnerLocal is the vertex's local id within the owner shard
+	// (always < the owner's Owned count).
+	OwnerLocal graph.Vertex
+}
+
+// Shard is one device's view of the partitioned graph.
+type Shard struct {
+	// Index is the shard's position in the plan.
+	Index int
+	// Local is the shard-local CSR: rows [0, Owned) are owned vertices with
+	// their full adjacency remapped to local ids; rows [Owned, n) are ghost
+	// rows holding only the reverse arcs into this shard's owned vertices.
+	Local *graph.CSR
+	// Owned is the number of vertices this shard is authoritative for.
+	Owned int
+	// GlobalID maps local ids (owned and ghost) back to global vertex ids.
+	GlobalID []graph.Vertex
+	// Ghosts lists the ghost rows in ascending Local order.
+	Ghosts []Ghost
+	// CutArcs counts arcs from this shard's owned vertices to ghosts.
+	CutArcs int64
+
+	local map[graph.Vertex]graph.Vertex // global -> local, owned and ghost
+}
+
+// NumLocal returns the local CSR's vertex count (owned + ghosts).
+func (s *Shard) NumLocal() int { return len(s.GlobalID) }
+
+// LocalOf maps a global vertex id to this shard's local id. The second
+// return value reports whether the vertex appears in the shard at all
+// (owned or ghost).
+func (s *Shard) LocalOf(global graph.Vertex) (graph.Vertex, bool) {
+	l, ok := s.local[global]
+	return l, ok
+}
+
+// Plan is a complete sharding of one graph.
+type Plan struct {
+	// Shards holds one view per part, indexed by part id.
+	Shards []*Shard
+	// N is the global vertex count.
+	N int
+	// CutArcs is the total number of boundary-crossing arcs (each cut
+	// undirected edge counted twice, like graph.CSR arc accounting).
+	CutArcs int64
+}
+
+// Build constructs the shard plan for g under the given k-way partition
+// (parts[v] is vertex v's shard, all values in [0, k)).
+func Build(g *graph.CSR, parts []uint32, k int) (*Plan, error) {
+	n := g.NumVertices()
+	if len(parts) != n {
+		return nil, fmt.Errorf("shard: parts length %d, graph has %d vertices", len(parts), n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("shard: k = %d, want >= 1", k)
+	}
+	for v, p := range parts {
+		if int(p) >= k {
+			return nil, fmt.Errorf("shard: vertex %d assigned to part %d, want < %d", v, p, k)
+		}
+	}
+
+	// Owned vertices in ascending global order fix each shard's local id
+	// space; ownerLocal[v] is v's rank within its owner.
+	ownerLocal := make([]graph.Vertex, n)
+	ownedBy := make([][]graph.Vertex, k)
+	for v := 0; v < n; v++ {
+		p := parts[v]
+		ownerLocal[v] = graph.Vertex(len(ownedBy[p]))
+		ownedBy[p] = append(ownedBy[p], graph.Vertex(v))
+	}
+
+	plan := &Plan{Shards: make([]*Shard, k), N: n}
+	for s := 0; s < k; s++ {
+		sh, err := buildShard(g, parts, s, ownedBy[s], ownerLocal)
+		if err != nil {
+			return nil, err
+		}
+		plan.Shards[s] = sh
+		plan.CutArcs += sh.CutArcs
+	}
+	return plan, nil
+}
+
+func buildShard(g *graph.CSR, parts []uint32, idx int, owned []graph.Vertex,
+	ownerLocal []graph.Vertex) (*Shard, error) {
+	sh := &Shard{Index: idx, Owned: len(owned)}
+
+	// Pass 1: discover the ghost set (deduplicated boundary neighbours).
+	ghostSet := make(map[graph.Vertex]struct{})
+	for _, v := range owned {
+		ts, _ := g.Neighbors(v)
+		for _, u := range ts {
+			if int(parts[u]) != idx {
+				ghostSet[u] = struct{}{}
+				sh.CutArcs++
+			}
+		}
+	}
+	ghosts := make([]graph.Vertex, 0, len(ghostSet))
+	for u := range ghostSet {
+		ghosts = append(ghosts, u)
+	}
+	sort.Slice(ghosts, func(i, j int) bool { return ghosts[i] < ghosts[j] })
+
+	nl := len(owned) + len(ghosts)
+	sh.GlobalID = make([]graph.Vertex, 0, nl)
+	sh.GlobalID = append(sh.GlobalID, owned...)
+	sh.GlobalID = append(sh.GlobalID, ghosts...)
+	sh.local = make(map[graph.Vertex]graph.Vertex, nl)
+	for l, gid := range sh.GlobalID {
+		sh.local[gid] = graph.Vertex(l)
+	}
+	sh.Ghosts = make([]Ghost, len(ghosts))
+	for i, u := range ghosts {
+		sh.Ghosts[i] = Ghost{
+			Local:      graph.Vertex(len(owned) + i),
+			Owner:      int(parts[u]),
+			OwnerLocal: ownerLocal[u],
+		}
+	}
+
+	// Pass 2: size every local row. Owned rows keep their full degree; a
+	// ghost row holds one reverse arc per cut arc pointing at it, so the
+	// local CSR stays symmetric and ghost rows can wake their owned
+	// neighbours after a halo update.
+	deg := make([]int64, nl)
+	for li, v := range owned {
+		deg[li] = int64(g.Degree(v))
+		ts, _ := g.Neighbors(v)
+		for _, u := range ts {
+			if int(parts[u]) != idx {
+				deg[sh.local[u]]++
+			}
+		}
+	}
+	offsets := make([]int64, nl+1)
+	for i := 0; i < nl; i++ {
+		offsets[i+1] = offsets[i] + deg[i]
+	}
+	arcs := offsets[nl]
+	targets := make([]graph.Vertex, arcs)
+	weights := make([]float32, arcs)
+	fill := make([]int64, nl)
+	copy(fill, offsets[:nl])
+	for li, v := range owned {
+		ts, ws := g.Neighbors(v)
+		for i, u := range ts {
+			lu := sh.local[u]
+			targets[fill[li]] = lu
+			weights[fill[li]] = ws[i]
+			fill[li]++
+			if int(parts[u]) != idx {
+				targets[fill[lu]] = graph.Vertex(li)
+				weights[fill[lu]] = ws[i]
+				fill[lu]++
+			}
+		}
+	}
+
+	// Local ids permute global order, so remapped rows need a re-sort to
+	// keep the sorted-adjacency invariant Validate and EdgeWeight rely on.
+	for i := 0; i < nl; i++ {
+		lo, hi := offsets[i], offsets[i+1]
+		sortRow(targets[lo:hi], weights[lo:hi])
+	}
+	sh.Local = graph.New(offsets, targets, weights)
+	return sh, nil
+}
+
+// sortRow sorts one adjacency row by target id, carrying weights along.
+func sortRow(ts []graph.Vertex, ws []float32) {
+	sort.Sort(&rowSorter{ts, ws})
+}
+
+type rowSorter struct {
+	ts []graph.Vertex
+	ws []float32
+}
+
+func (r *rowSorter) Len() int           { return len(r.ts) }
+func (r *rowSorter) Less(i, j int) bool { return r.ts[i] < r.ts[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.ts[i], r.ts[j] = r.ts[j], r.ts[i]
+	r.ws[i], r.ws[j] = r.ws[j], r.ws[i]
+}
+
+// ExchangeStats reports one halo exchange.
+type ExchangeStats struct {
+	// Updated is the number of ghost labels that changed this superstep.
+	Updated int64
+	// PerShard counts updated ghost labels per receiving shard.
+	PerShard []int64
+}
+
+// Exchange copies changed owner labels into ghost slots: for every ghost in
+// every shard, the owner shard's current label is compared against the
+// cached ghost copy, and only changed labels are written (the BSP barrier's
+// "send only what moved" rule). For each updated ghost, wake — when non-nil —
+// is invoked with the receiving shard and the ghost's local id so the caller
+// can re-activate the owned vertices that observe it.
+//
+// labels[s] must be shard s's local label array (length NumLocal). The
+// exchange is sequential and deterministic: shards ascending, ghosts in
+// local order.
+func (p *Plan) Exchange(labels [][]uint32, wake func(shard int, ghost graph.Vertex)) ExchangeStats {
+	st := ExchangeStats{PerShard: make([]int64, len(p.Shards))}
+	for s, sh := range p.Shards {
+		dst := labels[s]
+		for _, gh := range sh.Ghosts {
+			want := labels[gh.Owner][gh.OwnerLocal]
+			if dst[gh.Local] == want {
+				continue
+			}
+			dst[gh.Local] = want
+			st.Updated++
+			st.PerShard[s]++
+			if wake != nil {
+				wake(s, gh.Local)
+			}
+		}
+	}
+	return st
+}
+
+// Gather scatters per-shard owned labels back into one global array:
+// out[GlobalID[l]] = labels[s][l] for every owned l of every shard. Ghost
+// entries are ignored — owners are authoritative.
+func (p *Plan) Gather(labels [][]uint32) []uint32 {
+	out := make([]uint32, p.N)
+	for s, sh := range p.Shards {
+		for l := 0; l < sh.Owned; l++ {
+			out[sh.GlobalID[l]] = labels[s][l]
+		}
+	}
+	return out
+}
