@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-full bench chaos trace-smoke perfdiff-smoke shard-smoke
+.PHONY: check build vet lint test test-full bench chaos trace-smoke perfdiff-smoke shard-smoke health-smoke
 
-check: vet lint test chaos shard-smoke trace-smoke
+check: vet lint test chaos shard-smoke trace-smoke health-smoke
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,8 @@ test-full:
 # return a typed error — never hang, never panic.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Cancel|Deadline' \
-		./internal/engine/ ./internal/nulpa/ ./internal/simt/ ./internal/faults/ ./internal/httpapi/
+		./internal/engine/ ./internal/nulpa/ ./internal/simt/ ./internal/faults/ \
+		./internal/httpapi/ ./internal/health/
 
 # Shard smoke: the multi-device backend end to end under -race — partition
 # and halo construction, the BSP superstep loop, conformance (determinism,
@@ -46,6 +47,13 @@ shard-smoke:
 # connectivity), plus both -log-format modes.
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# Health smoke: faulted one-shot must emit per-iteration health lines and a
+# schema-valid flight dump (reason degraded); live server must stream >=1 SSE
+# frame per iteration and serve /jobs/{id}/flight (validated by
+# cmd/healthcheck, schema pinned to the committed golden).
+health-smoke:
+	sh scripts/health_smoke.sh
 
 # Perfdiff smoke: bench twice into one history file, diff the pair with
 # cmd/perfdiff, and validate the attribution report (coverage of the work

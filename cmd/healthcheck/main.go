@@ -1,0 +1,219 @@
+// Command healthcheck validates the convergence health plane and is the
+// heart of `make health-smoke`. It has three modes:
+//
+//	healthcheck [-reason R] flight.json
+//	    Validate a flight-recorder bundle written by `nulpa -flight-out` or
+//	    GET /jobs/{id}/flight: strict decode (unknown fields rejected),
+//	    structural invariants (schema version, time-ordered frames, states
+//	    present), and optionally assert the capture reason.
+//
+//	healthcheck -schema
+//	    Print this build's flight-bundle schema descriptor as JSON; the
+//	    smoke script diffs it against the checked-in golden so a field
+//	    rename or removal fails the gate.
+//
+//	healthcheck -live URL [-frames N] [-timeout D]
+//	    Exercise a running `nulpa -serve` instance end to end: wait for
+//	    /readyz, submit a job, stream GET /debug/live/{id} (SSE) asserting
+//	    at least N frame events and one frame per iteration, then fetch and
+//	    validate GET /jobs/{id}/flight.
+//
+// Exit status 0 when the checks pass, 1 with a diagnostic on stderr.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"nulpa/internal/health"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "healthcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	schema := flag.Bool("schema", false, "print the flight-bundle schema descriptor and exit")
+	reason := flag.String("reason", "", "assert the bundle's capture reason (file mode)")
+	live := flag.String("live", "", "base URL of a running nulpa -serve instance to exercise")
+	frames := flag.Int("frames", 3, "live mode: minimum SSE frame events required")
+	timeout := flag.Duration("timeout", 60*time.Second, "live mode: overall budget")
+	flag.Parse()
+
+	switch {
+	case *schema:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(health.Schema())
+	case *live != "":
+		checkLive(strings.TrimRight(*live, "/"), *frames, *timeout)
+	default:
+		if flag.NArg() != 1 {
+			fail("usage: healthcheck [-reason r] flight.json | healthcheck -schema | healthcheck -live URL")
+		}
+		checkFile(flag.Arg(0), *reason)
+	}
+}
+
+func checkFile(path, wantReason string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	b, err := health.DecodeFlight(data)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	if err := b.Validate(); err != nil {
+		fail("%s: %v", path, err)
+	}
+	if wantReason != "" && b.Reason != wantReason {
+		fail("%s: capture reason %q, want %q", path, b.Reason, wantReason)
+	}
+	fmt.Printf("healthcheck: %s OK — reason=%s state=%s iterations=%d frames=%d events=%d metrics=%d spans=%d\n",
+		path, b.Reason, b.State, b.Iterations, len(b.Frames), len(b.Events), len(b.Metrics), len(b.Spans))
+}
+
+// checkLive drives a serve instance: readiness, job submission, the SSE
+// stream, and the flight endpoint.
+func checkLive(base string, minFrames int, budget time.Duration) {
+	deadline := time.Now().Add(budget)
+	client := &http.Client{Timeout: budget}
+
+	// 1. Liveness is immediate; readiness may lag until routes are up.
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fail("server at %s never became ready (last err %v)", base, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// 2. Submit a job big enough to run for several iterations.
+	spec := `{"algo":"nulpa","graph":{"gen":"planted","n":30000,"deg":8,"seed":3},"seed":3}`
+	resp, err := client.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		fail("submit: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		fail("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID         int    `json:"id"`
+		State      string `json:"state"`
+		Iterations int    `json:"iterations"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		fail("submit response: %v", err)
+	}
+
+	// 3. Stream the live health frames. The subscription replays retained
+	// frames first, so connecting after the job finished still sees every
+	// frame, then the end event.
+	got, end := streamFrames(client, fmt.Sprintf("%s/debug/live/%d", base, st.ID))
+	if got < minFrames {
+		fail("SSE stream delivered %d frames, want >= %d", got, minFrames)
+	}
+	if end.Iterations > 0 && got < end.Iterations {
+		fail("SSE stream delivered %d frames for %d iterations (want >= 1 per iteration)", got, end.Iterations)
+	}
+	fmt.Printf("healthcheck: live OK — job %d streamed %d frames over %d iterations (final state %s)\n",
+		st.ID, got, end.Iterations, end.State)
+
+	// 4. The flight endpoint must serve a valid bundle for the job.
+	resp, err = client.Get(fmt.Sprintf("%s/jobs/%d/flight", base, st.ID))
+	if err != nil {
+		fail("flight: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("flight: status %d: %s", resp.StatusCode, body)
+	}
+	b, err := health.DecodeFlight(bytes.TrimSpace(body))
+	if err != nil {
+		fail("flight: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		fail("flight: %v", err)
+	}
+	if len(b.Frames) == 0 {
+		fail("flight: bundle has no frames")
+	}
+	fmt.Printf("healthcheck: flight OK — reason=%s state=%s frames=%d\n", b.Reason, b.State, len(b.Frames))
+}
+
+// endStatus is the subset of the job status carried by the SSE end event.
+type endStatus struct {
+	State      string `json:"state"`
+	Iterations int    `json:"iterations"`
+}
+
+// streamFrames consumes an SSE stream until its end event (or EOF), counting
+// frame events and sanity-decoding each payload.
+func streamFrames(client *http.Client, url string) (int, endStatus) {
+	resp, err := client.Get(url)
+	if err != nil {
+		fail("SSE: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("SSE: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		fail("SSE: content type %q", ct)
+	}
+	var (
+		got   int
+		end   endStatus
+		event string
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "frame":
+				var f health.Frame
+				if err := json.Unmarshal([]byte(data), &f); err != nil {
+					fail("SSE frame: %v", err)
+				}
+				if f.State == "" {
+					fail("SSE frame %d has no state", f.Iter)
+				}
+				got++
+			case "end":
+				if err := json.Unmarshal([]byte(data), &end); err != nil {
+					fail("SSE end: %v", err)
+				}
+				return got, end
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("SSE read: %v", err)
+	}
+	return got, end
+}

@@ -22,12 +22,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -36,6 +39,7 @@ import (
 	"nulpa/internal/faults"
 	"nulpa/internal/graph"
 	"nulpa/internal/hashtable"
+	"nulpa/internal/health"
 	"nulpa/internal/httpapi"
 	"nulpa/internal/nulpa"
 	"nulpa/internal/quality"
@@ -69,6 +73,8 @@ func main() {
 		serveAddr = flag.String("serve", "", "run the monitoring HTTP server on this address (e.g. :8080) instead of a one-shot detection")
 		faultSpec = flag.String("faults", "", "nulpa simt backend: inject faults, e.g. 'kernel=0.01,bitflip=0.01,seed=7' (chaos testing)")
 		deadline  = flag.Duration("deadline", 0, "abort the one-shot detection after this duration (0 = no deadline)")
+		healthOn  = flag.Bool("health", false, "print a convergence-health summary line per iteration")
+		flightOut = flag.String("flight-out", "", "write the run's flight-recorder bundle (post-mortem JSON) to this file")
 	)
 	flag.Parse()
 
@@ -115,9 +121,10 @@ func main() {
 	}
 
 	// -trace and -profile render the same telemetry records, so they can
-	// never disagree: the recorder is attached whenever either is on.
+	// never disagree: the recorder is attached whenever either is on. The
+	// health monitor rides the same recorder as its iteration sink.
 	var rec *telemetry.Recorder
-	if *iterTrace || *profileTo != "" {
+	if *iterTrace || *profileTo != "" || *healthOn || *flightOut != "" {
 		rec = telemetry.NewRecorder()
 	}
 
@@ -202,6 +209,27 @@ func main() {
 	st := graph.ComputeStats(g)
 	fmt.Printf("graph: %s\n", st)
 
+	// -health / -flight-out attach the convergence monitor to the recorder's
+	// iteration stream: a terminal summary line per iteration, and a
+	// post-mortem flight bundle on exit.
+	var mon *health.Monitor
+	if *healthOn || *flightOut != "" {
+		hcfg := health.Config{
+			Detector:  name,
+			Vertices:  g.NumVertices(),
+			Threshold: eopt.Tolerance * float64(g.NumVertices()),
+		}
+		if runSpan != nil {
+			hcfg.Span = runSpan
+			hcfg.TraceID = runSpan.TraceID().String()
+		}
+		if *healthOn {
+			hcfg.OnFrame = printHealthFrame
+		}
+		mon = health.New(hcfg)
+		rec.SetSink(mon)
+	}
+
 	res, err := det.Detect(g, eopt)
 	if runSpan != nil {
 		if err != nil {
@@ -219,6 +247,35 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace: wrote %s (one span per line)\n", *traceOut)
+	}
+	// Like the trace, the flight bundle is written even for a failed run —
+	// the post-mortem is the whole point of the recorder.
+	if mon != nil {
+		reason := "request"
+		switch {
+		case err != nil && errors.Is(err, engine.ErrDeadline):
+			reason = "deadline"
+		case err != nil && errors.Is(err, engine.ErrCanceled):
+			reason = "canceled"
+		case err != nil:
+			reason = "fault"
+		default:
+			if nres, ok := res.Extra.(*nulpa.Result); ok && nres.Degraded {
+				reason = "degraded"
+				mon.RecordEvent("fallback:direct", "simt backend degraded to direct")
+			}
+		}
+		if err != nil {
+			mon.RecordEvent(reason, err.Error())
+		}
+		mon.Close()
+		if *flightOut != "" {
+			if werr := writeFlightOut(*flightOut, mon, reason); werr != nil {
+				fmt.Fprintf(os.Stderr, "nulpa: %v\n", werr)
+				os.Exit(1)
+			}
+			fmt.Printf("flight: wrote %s (reason %s)\n", *flightOut, reason)
+		}
 	}
 	if err != nil {
 		if errors.Is(err, engine.ErrDeadline) {
@@ -302,6 +359,43 @@ func fmtBytes(b int64) string {
 	return fmt.Sprintf("%d B", b)
 }
 
+// printHealthFrame is the -health terminal line: one compact summary per
+// iteration, straggler fields appearing only on sharded runs.
+func printHealthFrame(f health.Frame) {
+	eta := "?"
+	if f.ETAIterations >= 0 {
+		eta = strconv.Itoa(int(math.Ceil(f.ETAIterations)))
+	}
+	line := fmt.Sprintf("health iter=%d state=%s deltaN=%d flip=%.4f slope=%+.3f eta=%s frontier=%.3f osc=%.2f",
+		f.Iter, f.State, f.DeltaN, f.FlipRate, f.DecaySlope, eta, f.FrontierOccupancy, f.OscillationScore)
+	if f.Shards > 1 {
+		line += fmt.Sprintf(" shards=%d skew=%.2f waitUs=%.0f", f.Shards, f.StragglerSkew, f.BarrierWaitUS)
+		if f.StragglerShard >= 0 {
+			line += fmt.Sprintf(" straggler=%d", f.StragglerShard)
+		}
+	}
+	if f.Retries > 0 {
+		line += fmt.Sprintf(" retries=%d", f.Retries)
+	}
+	fmt.Println(line)
+}
+
+// writeFlightOut captures and writes the run's flight bundle.
+func writeFlightOut(path string, mon *health.Monitor, reason string) error {
+	b := mon.Flight(reason)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // writeTraceOut dumps the default tracer's resident spans as JSONL.
 func writeTraceOut(path string) error {
 	f, err := os.Create(path)
@@ -345,7 +439,7 @@ func serve(addr, algo, backend, graphPath, genName string, n, deg int, seed int6
 		}
 		fmt.Printf("job %d: %s on %s\n", st.ID, st.Algo, st.Graph)
 	}
-	fmt.Printf("serving on %s (GET /metrics, /healthz, /jobs, /debug/trace, /debug/vars, /debug/pprof)\n", addr)
+	fmt.Printf("serving on %s (GET /metrics, /healthz, /readyz, /jobs, /debug/live, /debug/trace, /debug/vars, /debug/pprof)\n", addr)
 	slog.Info("server listening", "addr", addr)
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting connections,
@@ -363,6 +457,9 @@ func serve(addr, algo, backend, graphPath, genName string, n, deg int, seed int6
 	}
 	fmt.Println("shutting down")
 	slog.Info("server shutting down")
+	// Fail readiness first so a load balancer drains traffic, then cancel
+	// the in-flight jobs.
+	srv.BeginDrain()
 	srv.CancelAll()
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -15,9 +15,11 @@ type ShardLoopConfig struct {
 	// Shards is the number of concurrent per-superstep bodies (>= 1).
 	Shards int
 	// OnSuperstep, when non-nil, is called after each superstep's halo
-	// exchange with the barrier wait (total idle time shards spent waiting
-	// for the slowest peer) and the number of halo labels exchanged.
-	OnSuperstep func(iter int, barrierWait time.Duration, exchanged int64)
+	// exchange with the per-shard body durations, the barrier wait (total
+	// idle time shards spent waiting for the slowest peer) and the number of
+	// halo labels exchanged. durs is indexed by shard and only valid for the
+	// duration of the call.
+	OnSuperstep func(iter int, durs []time.Duration, barrierWait time.Duration, exchanged int64)
 }
 
 // ShardLoop drives the BSP superstep loop of a sharded multi-device run:
@@ -61,25 +63,32 @@ func ShardLoop(cfg ShardLoopConfig,
 		}
 		wg.Wait()
 		agg := mergeOutcomes(outs)
-		if agg.Err != nil || agg.Stop || exchange == nil {
-			return agg
-		}
-		ectx, espan := trace.Child(ctx, "halo-exchange")
-		exchanged, err := exchange(ectx, iter)
-		if espan != nil {
-			espan.SetInt("iter", int64(iter))
-			espan.SetInt("exchanged", exchanged)
-			if err != nil {
-				espan.SetString("error", err.Error())
+		wait := barrierWait(durs)
+		var exchanged int64
+		if agg.Err == nil && !agg.Stop && exchange != nil {
+			ectx, espan := trace.Child(ctx, "halo-exchange")
+			var err error
+			exchanged, err = exchange(ectx, iter)
+			if espan != nil {
+				espan.SetInt("iter", int64(iter))
+				espan.SetInt("exchanged", exchanged)
+				if err != nil {
+					espan.SetString("error", err.Error())
+				}
+				espan.End()
 			}
-			espan.End()
+			if err != nil {
+				agg.Err = err
+			} else if cfg.OnSuperstep != nil {
+				cfg.OnSuperstep(iter, durs, wait, exchanged)
+			}
 		}
-		if err != nil {
-			agg.Err = err
-			return agg
-		}
-		if cfg.OnSuperstep != nil {
-			cfg.OnSuperstep(iter, barrierWait(durs), exchanged)
+		// The superstep feed fires on every superstep — including the
+		// stopping and the failing one, whose shard timings the flight
+		// recorder wants most — and lands before Loop records the
+		// iteration, so a sink can fold shard skew into the same frame.
+		if cfg.Profiler != nil {
+			cfg.Profiler.RecordSuperstep(iter, durs, wait, exchanged)
 		}
 		return agg
 	})

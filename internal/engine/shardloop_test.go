@@ -146,7 +146,10 @@ func TestShardLoopOnSuperstep(t *testing.T) {
 	lr := ShardLoop(ShardLoopConfig{
 		LoopConfig: LoopConfig{MaxIterations: 3, Threshold: 0},
 		Shards:     2,
-		OnSuperstep: func(iter int, wait time.Duration, exchanged int64) {
+		OnSuperstep: func(iter int, durs []time.Duration, wait time.Duration, exchanged int64) {
+			if len(durs) != 2 {
+				t.Errorf("superstep %d: %d shard durations, want 2", iter, len(durs))
+			}
 			waits = append(waits, wait)
 			counts = append(counts, exchanged)
 		},

@@ -4,13 +4,16 @@
 //
 // Routes:
 //
-//	GET  /healthz      liveness probe ("ok")
+//	GET  /healthz      liveness probe ("ok"; never drains)
+//	GET  /readyz       readiness probe (503 while draining or registry empty)
 //	GET  /metrics      Prometheus text format (internal/metrics)
 //	GET  /debug/vars   expvar-style JSON dump of the same registry
 //	GET  /algos        registered detector names (JSON)
 //	POST /jobs         submit a JobSpec; returns the job id immediately
 //	GET  /jobs         all job statuses
 //	GET  /jobs/{id}    one job, with live iteration progress while running
+//	GET  /jobs/{id}/flight  flight-recorder bundle (auto-captured on fault)
+//	GET  /debug/live/{id}   SSE stream: one health frame per iteration
 //	GET  /debug/trace  recent traces (one summary per trace in the ring)
 //	GET  /debug/trace/{id}         one trace as a span tree
 //	GET  /debug/trace/{id}/chrome  unified Chrome trace (spans + profiler)

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"nulpa/internal/engine"
+	"nulpa/internal/health"
 	"nulpa/internal/metrics"
 	"nulpa/internal/nulpa"
 	"nulpa/internal/quality"
@@ -92,8 +94,20 @@ type job struct {
 	// cancel aborts the run's context; safe to call at any time, in any
 	// state, any number of times.
 	cancel context.CancelFunc
+	// health monitors the run's iteration stream (attached as the
+	// recorder's sink at submit); flight is the post-mortem bundle captured
+	// at finish when the run faulted, degraded, or hit its deadline.
+	health *health.Monitor
+	flight *health.FlightBundle
 	// store backlinks for terminal-state eviction accounting.
 	store *jobStore
+}
+
+// flightBundle returns the captured post-mortem, nil if none was taken.
+func (j *job) flightBundle() *health.FlightBundle {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flight
 }
 
 func (j *job) status() JobStatus {
@@ -192,6 +206,14 @@ func (s *jobStore) submit(spec JobSpec) (*job, error) {
 		j.span.SetString("algo", spec.Algo)
 		j.span.SetString("graph", spec.Graph.String())
 	}
+	// The health monitor rides the recorder's iteration stream; the graph
+	// size arrives via SetTarget once the run has built it.
+	j.health = health.New(health.Config{
+		Detector: spec.Algo,
+		TraceID:  j.traceID,
+		Span:     j.span,
+	})
+	j.rec.SetSink(j.health)
 	mJobsSubmitted.Inc()
 	slog.Info("job created",
 		"job", j.id, "algo", spec.Algo, "graph", spec.Graph.String(), "trace", j.traceID)
@@ -265,6 +287,23 @@ func (j *job) finish(state JobState, err error, res *engine.Result, mod float64)
 	j.state, j.err, j.res, j.mod = state, err, res, mod
 	j.mu.Unlock()
 	j.cancel()
+	// Post-mortem capture: faults, deadlines, and backend degradation each
+	// freeze the flight recorder before the monitor closes. A clean finish
+	// keeps the monitor's frames around for an explicit /jobs/{id}/flight.
+	if reason := flightReason(state, err, res); reason != "" {
+		switch reason {
+		case "degraded":
+			j.health.RecordEvent("fallback:direct", "simt backend degraded to direct")
+		default:
+			j.health.RecordEvent(reason, err.Error())
+		}
+		b := j.health.Flight(reason)
+		j.mu.Lock()
+		j.flight = b
+		j.mu.Unlock()
+		slog.Warn("job flight recorded", "job", j.id, "reason", reason, "trace", j.traceID)
+	}
+	j.health.Close()
 	mJobsByState.With(string(state)).Inc()
 	mJobSeconds.Observe(time.Since(j.submitted).Seconds())
 	j.span.SetString("state", string(state))
@@ -315,6 +354,7 @@ func (j *job) run(ctx context.Context) {
 		fail(err)
 		return
 	}
+	j.health.SetTarget(g.NumVertices(), j.spec.Tolerance*float64(g.NumVertices()))
 	// A cancel that lands while the graph was building should not start the
 	// detector at all.
 	if err := ctx.Err(); err != nil {
@@ -384,6 +424,30 @@ func (s *jobStore) noteFinished() {
 		mJobsEvicted.Inc()
 		slog.Info("job evicted", "job", j.id, "trace", j.traceID)
 	}
+}
+
+// flightReason decides whether a finishing job warrants a post-mortem
+// capture: a fault or deadline always does, as does a run that completed only
+// by degrading to the fallback backend. User cancellation and clean finishes
+// do not (an operator can still request a bundle via /jobs/{id}/flight).
+func flightReason(state JobState, err error, res *engine.Result) string {
+	if err != nil {
+		switch {
+		case errors.Is(err, engine.ErrDeadline):
+			return "deadline"
+		case errors.Is(err, engine.ErrCanceled):
+			return ""
+		case state == JobFailed:
+			return "fault"
+		}
+		return ""
+	}
+	if res != nil {
+		if nres, ok := res.Extra.(*nulpa.Result); ok && nres.Degraded {
+			return "degraded"
+		}
+	}
+	return ""
 }
 
 // cancelAll requests cancellation of every live job (server shutdown path).

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"nulpa/internal/engine"
@@ -49,6 +50,11 @@ type Server struct {
 	jobs  *jobStore
 	start time.Time
 	mux   *http.ServeMux
+	// draining flips /readyz to 503 once graceful shutdown begins.
+	draining atomic.Bool
+	// readyCheck overrides the readiness probe (tests); nil means "engine
+	// registry non-empty".
+	readyCheck func() bool
 }
 
 // Option configures a Server at construction.
@@ -71,6 +77,7 @@ func NewServer(opts ...Option) *Server {
 	}
 	trace.Default().SetEnabled(true)
 	s.handle("GET /healthz", "healthz", s.healthz)
+	s.handle("GET /readyz", "readyz", s.readyz)
 	s.handle("GET /metrics", "metrics", s.metrics)
 	s.handle("GET /debug/vars", "vars", s.vars)
 	s.handle("GET /algos", "algos", s.algos)
@@ -78,6 +85,8 @@ func NewServer(opts ...Option) *Server {
 	s.handle("GET /jobs", "jobs-list", s.listJobs)
 	s.handle("GET /jobs/{id}", "jobs-get", s.getJob)
 	s.handle("DELETE /jobs/{id}", "jobs-cancel", s.cancelJob)
+	s.handle("GET /jobs/{id}/flight", "jobs-flight", s.jobFlight)
+	s.handle("GET /debug/live/{id}", "jobs-live", s.liveJob)
 	s.handle("GET /debug/perf", "perf-snapshot", s.perfSnapshot)
 	s.handle("GET /debug/trace", "trace-list", s.listTraces)
 	s.handle("GET /debug/trace/{id}", "trace-get", s.getTrace)
@@ -135,6 +144,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the wrapped writer so SSE handlers can stream through
+// the access-log wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // handle mounts h with per-route request accounting and the access log.
 // Every response carries an X-Request-Id; handlers that touch a traced job
 // add X-Trace-Id, which the access log picks up so a request line can be
@@ -158,11 +175,6 @@ func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
 		}
 		slog.Info("http request", attrs...)
 	})
-}
-
-func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write([]byte("ok\n"))
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {

@@ -272,6 +272,20 @@ func TestHotPathZeroAlloc(t *testing.T) {
 	}); a != 0 {
 		t.Fatalf("metrics hot path allocates: %v allocs/op, want 0", a)
 	}
+
+	// Out-of-range observations take the underflow/overflow branches; those
+	// must be as cheap as the common case — the health monitor feeds
+	// iteration durations here on every superstep.
+	if a := testing.AllocsPerRun(100, func() {
+		h.Observe(1e-12) // below the first bound
+		h.Observe(1e9)   // beyond the last bound (+Inf bucket)
+		h.Observe(math.Inf(1))
+	}); a != 0 {
+		t.Fatalf("histogram edge observations allocate: %v allocs/op, want 0", a)
+	}
+	if h.Count() == 0 {
+		t.Fatal("edge observations were dropped")
+	}
 }
 
 func TestFormatFloat(t *testing.T) {

@@ -140,7 +140,7 @@ func detectSharded(g *graph.CSR, opt Options) (*Result, error) {
 			Profiler:      opt.Profiler,
 		},
 		Shards: k,
-		OnSuperstep: func(_ int, wait time.Duration, _ int64) {
+		OnSuperstep: func(_ int, _ []time.Duration, wait time.Duration, _ int64) {
 			mShardSupersteps.Inc()
 			mShardBarrierWait.Observe(wait.Seconds())
 		},

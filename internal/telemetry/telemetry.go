@@ -103,6 +103,23 @@ type iterEvent struct {
 	at  time.Time
 }
 
+// IterSink observes a run's iteration stream as it is recorded. A sink
+// attached via SetSink receives every IterRecord the moment RecordIteration
+// stores it, plus per-superstep shard timing from sharded runs — the seam
+// the convergence health monitor (internal/health) hangs off without the
+// detectors knowing it exists. Implementations must be cheap and must not
+// call back into the Recorder.
+type IterSink interface {
+	// ObserveIteration is called once per recorded iteration, after the
+	// record is stored.
+	ObserveIteration(rec IterRecord)
+	// ObserveSuperstep is called once per BSP superstep of a sharded run
+	// with the per-shard body durations, the barrier wait (total idle time
+	// shards spent waiting for the slowest peer), and the halo labels
+	// exchanged. durs is only valid for the duration of the call.
+	ObserveSuperstep(iter int, durs []time.Duration, barrierWait time.Duration, exchanged int64)
+}
+
 // Recorder collects device events and iteration records for one or more
 // runs. It implements the simt.Profiler interface; attach it to a device via
 // nulpa.Options.Profiler (or simt.Device.Prof directly). All methods are
@@ -112,6 +129,28 @@ type Recorder struct {
 	base     time.Time
 	launches []*Launch
 	iters    []iterEvent
+	sink     IterSink
+}
+
+// SetSink attaches an IterSink that will observe every subsequent
+// RecordIteration and RecordSuperstep. A nil sink detaches. Safe to call
+// concurrently with recording.
+func (r *Recorder) SetSink(s IterSink) {
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// RecordSuperstep forwards one BSP superstep's shard timing to the attached
+// sink. With no sink attached it is a zero-allocation no-op — engine.ShardLoop
+// calls it unconditionally whenever a profiler is present.
+func (r *Recorder) RecordSuperstep(iter int, durs []time.Duration, barrierWait time.Duration, exchanged int64) {
+	r.mu.Lock()
+	s := r.sink
+	r.mu.Unlock()
+	if s != nil {
+		s.ObserveSuperstep(iter, durs, barrierWait, exchanged)
+	}
 }
 
 // NewRecorder returns an empty Recorder whose timeline starts now.
@@ -159,7 +198,11 @@ func (r *Recorder) RecordIteration(rec IterRecord) {
 	now := time.Now()
 	r.mu.Lock()
 	r.iters = append(r.iters, iterEvent{rec: rec, at: now})
+	s := r.sink
 	r.mu.Unlock()
+	if s != nil {
+		s.ObserveIteration(rec)
+	}
 }
 
 // AddIterRecords appends records produced outside the recorder's clock (a
@@ -167,7 +210,6 @@ func (r *Recorder) RecordIteration(rec IterRecord) {
 // record's duration from the end of the current timeline.
 func (r *Recorder) AddIterRecords(recs []IterRecord) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	at := r.base
 	if n := len(r.iters); n > 0 {
 		at = r.iters[n-1].at
@@ -175,6 +217,13 @@ func (r *Recorder) AddIterRecords(recs []IterRecord) {
 	for _, rec := range recs {
 		at = at.Add(rec.Duration)
 		r.iters = append(r.iters, iterEvent{rec: rec, at: at})
+	}
+	s := r.sink
+	r.mu.Unlock()
+	if s != nil {
+		for _, rec := range recs {
+			s.ObserveIteration(rec)
+		}
 	}
 }
 

@@ -1,0 +1,73 @@
+#!/bin/sh
+# health_smoke.sh — end-to-end check of the convergence health monitor: a
+# faulted one-shot run must print per-iteration health lines and auto-dump a
+# schema-valid flight bundle with the right reason; the schema descriptor
+# must match the committed golden; and a live -serve instance must answer
+# /readyz, stream >=1 SSE frame per iteration from /debug/live/{id}, and
+# serve a valid bundle from /jobs/{id}/flight (all via cmd/healthcheck).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+srv_pid=""
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$out"
+}
+trap cleanup EXIT
+
+# Build once: the server must be a real binary so `kill` reaches the process
+# itself, not a `go run` wrapper.
+echo "health-smoke: building nulpa + healthcheck"
+go build -o "$out/nulpa" ./cmd/nulpa
+go build -o "$out/healthcheck" ./cmd/healthcheck
+
+echo "health-smoke: faulted one-shot with -health and -flight-out"
+"$out/nulpa" -gen planted -n 2000 -deg 8 -seed 7 \
+    -faults kernel=1,seed=2 -health -flight-out "$out/flight.json" \
+    > "$out/run.out" 2>&1
+
+grep -q 'degraded: simt backend faulted beyond recovery' "$out/run.out" || {
+    echo "health-smoke: FAIL — kernel=1 run did not degrade to direct" >&2
+    cat "$out/run.out" >&2
+    exit 1
+}
+grep -q 'health iter=' "$out/run.out" || {
+    echo "health-smoke: FAIL — no per-iteration health lines" >&2
+    cat "$out/run.out" >&2
+    exit 1
+}
+grep -q 'flight: wrote' "$out/run.out" || {
+    echo "health-smoke: FAIL — flight bundle not written" >&2
+    cat "$out/run.out" >&2
+    exit 1
+}
+
+echo "health-smoke: validating flight bundle (reason degraded)"
+"$out/healthcheck" -reason degraded "$out/flight.json"
+
+echo "health-smoke: schema descriptor vs golden"
+"$out/healthcheck" -schema > "$out/schema.json"
+diff -u internal/health/testdata/flight_schema.golden.json "$out/schema.json" || {
+    echo "health-smoke: FAIL — flight schema drifted from golden" >&2
+    echo "regenerate with: go run ./cmd/healthcheck -schema > internal/health/testdata/flight_schema.golden.json" >&2
+    exit 1
+}
+
+addr="127.0.0.1:17893"
+echo "health-smoke: live server on $addr"
+"$out/nulpa" -serve "$addr" > "$out/serve.out" 2>&1 &
+srv_pid=$!
+
+"$out/healthcheck" -live "http://$addr" -frames 3 || {
+    echo "health-smoke: FAIL — live check against $addr" >&2
+    cat "$out/serve.out" >&2
+    exit 1
+}
+
+kill "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+srv_pid=""
+
+echo "health-smoke: ok"
