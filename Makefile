@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-full bench chaos trace-smoke perfdiff-smoke shard-smoke health-smoke
+.PHONY: check build vet lint test test-full bench chaos trace-smoke perfdiff-smoke shard-smoke health-smoke load-smoke
 
-check: vet lint test chaos shard-smoke trace-smoke health-smoke
+check: vet lint test chaos shard-smoke trace-smoke health-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,13 @@ trace-smoke:
 # cmd/healthcheck, schema pinned to the committed golden).
 health-smoke:
 	sh scripts/health_smoke.sh
+
+# Load smoke: overload the serving plane end to end — tiny device pool, an
+# open-loop storm from cmd/loadgen, then a fault-injected chaos run. Gates on
+# zero lost jobs, Retry-After on every shed, a balanced /debug/vars ledger,
+# and a bench-history entry for the run.
+load-smoke:
+	sh scripts/load_smoke.sh
 
 # Perfdiff smoke: bench twice into one history file, diff the pair with
 # cmd/perfdiff, and validate the attribution report (coverage of the work

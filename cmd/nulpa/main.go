@@ -43,6 +43,7 @@ import (
 	"nulpa/internal/httpapi"
 	"nulpa/internal/nulpa"
 	"nulpa/internal/quality"
+	"nulpa/internal/sched"
 	"nulpa/internal/simt"
 	"nulpa/internal/telemetry"
 	"nulpa/internal/trace"
@@ -71,6 +72,9 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "record a span trace of the run and write it as JSONL to this file")
 		logFormat = flag.String("log-format", "text", "log line format on stderr: text or json")
 		serveAddr = flag.String("serve", "", "run the monitoring HTTP server on this address (e.g. :8080) instead of a one-shot detection")
+		srvWork   = flag.Int("workers", 0, "serve: device-pool worker count (0 = GOMAXPROCS)")
+		srvQueue  = flag.Int("queue-depth", 0, "serve: admission queue depth before shedding 429s (0 = default)")
+		srvQuota  = flag.Float64("quota", 0, "serve: per-tenant admission rate in jobs/s, keyed on X-Tenant (0 = no quotas)")
 		faultSpec = flag.String("faults", "", "nulpa simt backend: inject faults, e.g. 'kernel=0.01,bitflip=0.01,seed=7' (chaos testing)")
 		deadline  = flag.Duration("deadline", 0, "abort the one-shot detection after this duration (0 = no deadline)")
 		healthOn  = flag.Bool("health", false, "print a convergence-health summary line per iteration")
@@ -89,7 +93,8 @@ func main() {
 	}
 
 	if *serveAddr != "" {
-		serve(*serveAddr, *algo, *backend, *graphPath, *genName, *n, *deg, *seed)
+		serve(*serveAddr, *algo, *backend, *graphPath, *genName, *n, *deg, *seed,
+			sched.Config{Workers: *srvWork, QueueDepth: *srvQueue, QuotaRate: *srvQuota})
 		return
 	}
 
@@ -421,8 +426,8 @@ func loadGraph(path, genName string, n, deg int, seed int64) (*graph.CSR, error)
 
 // serve runs the monitoring server, optionally submitting an initial job
 // built from the one-shot flags.
-func serve(addr, algo, backend, graphPath, genName string, n, deg int, seed int64) {
-	srv := httpapi.NewServer()
+func serve(addr, algo, backend, graphPath, genName string, n, deg int, seed int64, scfg sched.Config) {
+	srv := httpapi.NewServer(httpapi.WithScheduler(scfg))
 	if graphPath != "" || genName != "" {
 		name := algo
 		if name == "nulpa" && backend == "direct" {
@@ -467,4 +472,7 @@ func serve(addr, algo, backend, graphPath, genName string, n, deg int, seed int6
 		fmt.Fprintf(os.Stderr, "nulpa: shutdown: %v\n", err)
 		os.Exit(1)
 	}
+	// Stop the device pool last: the queue is already drained (every queued
+	// job was canceled above), so Stop only joins the workers.
+	srv.Close()
 }

@@ -113,3 +113,18 @@ func NewResult(labels []uint32) *Result {
 	compressed, k := CompressLabels(labels)
 	return &Result{Labels: compressed, Communities: k}
 }
+
+// Clone returns a deep copy of the result's owned slices (labels and trace).
+// The scheduler's result cache hands one detection to many coalesced jobs;
+// cloning keeps a consumer that relabels or truncates from corrupting its
+// siblings. Extra is shared — native results are treated as immutable once
+// the run returns.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Labels = append([]uint32(nil), r.Labels...)
+	c.Trace = append([]telemetry.IterRecord(nil), r.Trace...)
+	return &c
+}

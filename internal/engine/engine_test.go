@@ -217,3 +217,22 @@ func TestNewResultCompresses(t *testing.T) {
 		t.Fatalf("NewResult = %+v", res)
 	}
 }
+
+func TestResultClone(t *testing.T) {
+	var nilRes *Result
+	if nilRes.Clone() != nil {
+		t.Fatal("nil.Clone() != nil")
+	}
+	r := NewResult([]uint32{5, 5, 8})
+	r.Iterations = 3
+	r.Trace = []telemetry.IterRecord{{Iter: 0, DeltaN: 2}}
+	c := r.Clone()
+	c.Labels[0] = 99
+	c.Trace[0].DeltaN = 77
+	if r.Labels[0] == 99 || r.Trace[0].DeltaN == 77 {
+		t.Fatal("Clone shares backing arrays with the original")
+	}
+	if c.Iterations != 3 || c.Communities != r.Communities {
+		t.Fatalf("Clone dropped scalar fields: %+v", c)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nulpa/internal/telemetry"
@@ -162,8 +163,10 @@ type Config struct {
 }
 
 // subBuffer is each live subscriber's channel depth. The SSE writer drains
-// far faster than iterations arrive; a full buffer drops the oldest-pending
-// frame accounting it in engine_health_frames_dropped_total.
+// far faster than iterations arrive; a full buffer drops the newly-arrived
+// frame, accounting it in engine_health_frames_dropped_total and in the
+// subscriber's own Dropped counter — the SSE endpoint disconnects such a
+// client with a terminal "lagged" event instead of serving a gapped stream.
 const subBuffer = 256
 
 // maxEvents bounds the event annotation track.
@@ -183,10 +186,45 @@ type Monitor struct {
 	pending  superstep // shard feed for the iteration being merged
 	state    State
 	events   []Event
-	subs     map[int]chan Frame
+	subs     map[int]*subscriber
 	nextSub  int
 	closed   bool
 	lastIter int
+}
+
+// subscriber is one live consumer's server-side record: its buffered frame
+// channel plus the count of frames dropped because the buffer was full — the
+// signal the SSE endpoint uses to disconnect a lagging client rather than
+// silently serve it a gapped stream.
+type subscriber struct {
+	ch      chan Frame
+	dropped atomic.Int64
+}
+
+// Subscription is a live frame feed handed out by Subscribe. The channel has
+// a fixed buffer (subBuffer); a consumer that falls further behind loses
+// frames, observable via Dropped.
+type Subscription struct {
+	// Frames carries every frame observed after the catch-up snapshot, in
+	// order. It closes when the run ends (Close) or on Cancel.
+	Frames <-chan Frame
+	sub    *subscriber
+	cancel func()
+}
+
+// Dropped reports how many frames this subscriber has lost to backpressure.
+func (s *Subscription) Dropped() int64 {
+	if s == nil || s.sub == nil {
+		return 0
+	}
+	return s.sub.dropped.Load()
+}
+
+// Cancel detaches the subscription and closes its channel. Idempotent.
+func (s *Subscription) Cancel() {
+	if s != nil && s.cancel != nil {
+		s.cancel()
+	}
 }
 
 // superstep carries one barrier's derived shard signals from
@@ -224,7 +262,7 @@ func New(cfg Config) *Monitor {
 	m := &Monitor{
 		cfg:      cfg,
 		state:    StateWarmup,
-		subs:     map[int]chan Frame{},
+		subs:     map[int]*subscriber{},
 		lastIter: -1,
 	}
 	mStateRuns.With(string(StateWarmup)).Add(1)
@@ -373,10 +411,11 @@ func (m *Monitor) ObserveIteration(rec telemetry.IterRecord) {
 	if m.cfg.OnFrame != nil {
 		m.cfg.OnFrame(f)
 	}
-	for _, ch := range m.subs {
+	for _, sub := range m.subs {
 		select {
-		case ch <- f:
+		case sub.ch <- f:
 		default:
+			sub.dropped.Add(1)
 			mFramesDropped.Inc()
 		}
 	}
@@ -564,37 +603,38 @@ func (m *Monitor) Total() int {
 }
 
 // Subscribe registers a live frame consumer. It returns the frames already
-// observed (catch-up, oldest first), a channel carrying every subsequent
-// frame in order, and a cancel func. The channel closes when the run ends
-// (Close) or on cancel. The snapshot and registration are atomic, so a
-// consumer replaying past then draining the channel sees every frame exactly
-// once — except under sustained backpressure, where frames drop (counted in
+// observed (catch-up, oldest first) and a Subscription whose channel carries
+// every subsequent frame in order; the channel closes when the run ends
+// (Close) or on Subscription.Cancel. The snapshot and registration are
+// atomic, so a consumer replaying past then draining the channel sees every
+// frame exactly once — except under sustained backpressure, where frames
+// drop (counted per subscriber in Subscription.Dropped and globally in
 // engine_health_frames_dropped_total) rather than stall the run.
-func (m *Monitor) Subscribe() (past []Frame, frames <-chan Frame, cancel func()) {
+func (m *Monitor) Subscribe() (past []Frame, s *Subscription) {
 	if m == nil {
 		ch := make(chan Frame)
 		close(ch)
-		return nil, ch, func() {}
+		return nil, &Subscription{Frames: ch}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	past = m.lastFrames(len(m.frames))
-	ch := make(chan Frame, subBuffer)
+	sub := &subscriber{ch: make(chan Frame, subBuffer)}
 	if m.closed {
-		close(ch)
-		return past, ch, func() {}
+		close(sub.ch)
+		return past, &Subscription{Frames: sub.ch, sub: sub}
 	}
 	id := m.nextSub
 	m.nextSub++
-	m.subs[id] = ch
-	return past, ch, func() {
+	m.subs[id] = sub
+	return past, &Subscription{Frames: sub.ch, sub: sub, cancel: func() {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		if c, ok := m.subs[id]; ok {
 			delete(m.subs, id)
-			close(c)
+			close(c.ch)
 		}
-	}
+	}}
 }
 
 // Close marks the run finished: subscriber channels close and the per-state
@@ -610,9 +650,9 @@ func (m *Monitor) Close() {
 		return
 	}
 	m.closed = true
-	for id, ch := range m.subs {
+	for id, sub := range m.subs {
 		delete(m.subs, id)
-		close(ch)
+		close(sub.ch)
 	}
 	mStateRuns.With(string(m.state)).Add(-1)
 }

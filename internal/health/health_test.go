@@ -194,8 +194,9 @@ func TestMonitorSubscribe(t *testing.T) {
 	m := New(Config{Vertices: 100})
 	feed(m, []int64{50, 40}, time.Millisecond)
 
-	past, ch, cancel := m.Subscribe()
-	defer cancel()
+	past, sub := m.Subscribe()
+	defer sub.Cancel()
+	ch := sub.Frames
 	if len(past) != 2 {
 		t.Fatalf("catch-up = %d frames, want 2", len(past))
 	}
@@ -220,14 +221,48 @@ func TestMonitorSubscribe(t *testing.T) {
 
 	// Subscribing after close still yields the catch-up frames and a closed
 	// channel — a late SSE client sees the whole finished run.
-	past, ch, cancel2 := m.Subscribe()
-	defer cancel2()
+	past, sub2 := m.Subscribe()
+	defer sub2.Cancel()
 	if len(past) != 3 {
 		t.Fatalf("post-close catch-up = %d frames, want 3", len(past))
 	}
-	if _, ok := <-ch; ok {
+	if _, ok := <-sub2.Frames; ok {
 		t.Fatal("post-close channel not closed")
 	}
+}
+
+// TestSubscriberLagAccounting: a subscriber that never drains loses frames
+// once its buffer fills, and its Dropped counter says exactly how many — the
+// per-client signal behind the SSE "lagged" disconnect. A second, draining
+// subscriber is unaffected by its sibling's backpressure.
+func TestSubscriberLagAccounting(t *testing.T) {
+	m := New(Config{Vertices: 10_000})
+	defer m.Close()
+	_, stalled := m.Subscribe()
+	defer stalled.Cancel()
+	_, healthy := m.Subscribe()
+	defer healthy.Cancel()
+
+	const extra = 10
+	for i := 0; i < subBuffer+extra; i++ {
+		m.ObserveIteration(telemetry.IterRecord{Iter: i, DeltaN: 5, Duration: time.Microsecond})
+		select { // drain the healthy subscriber in lock-step
+		case <-healthy.Frames:
+		default:
+			t.Fatalf("healthy subscriber starved at frame %d", i)
+		}
+	}
+	if got := stalled.Dropped(); got != extra {
+		t.Fatalf("stalled subscriber dropped %d frames, want %d", got, extra)
+	}
+	if got := healthy.Dropped(); got != 0 {
+		t.Fatalf("draining subscriber dropped %d frames, want 0", got)
+	}
+	var nilSub *Subscription
+	if nilSub.Dropped() != 0 {
+		t.Fatal("nil subscription dropped != 0")
+	}
+	nilSub.Cancel() // no panic
 }
 
 func TestMonitorRetryEvent(t *testing.T) {
@@ -258,12 +293,12 @@ func TestNilMonitorNoOps(t *testing.T) {
 	if b := m.Flight("request"); b != nil {
 		t.Fatal("nil monitor produced a bundle")
 	}
-	past, ch, cancel := m.Subscribe()
-	cancel()
+	past, sub := m.Subscribe()
+	sub.Cancel()
 	if len(past) != 0 {
 		t.Fatal("nil monitor catch-up")
 	}
-	if _, ok := <-ch; ok {
+	if _, ok := <-sub.Frames; ok {
 		t.Fatal("nil monitor channel open")
 	}
 }

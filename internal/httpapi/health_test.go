@@ -15,6 +15,7 @@ import (
 
 func TestReadyzSplit(t *testing.T) {
 	srv := NewServer()
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -9,7 +9,7 @@
 //	GET  /metrics      Prometheus text format (internal/metrics)
 //	GET  /debug/vars   expvar-style JSON dump of the same registry
 //	GET  /algos        registered detector names (JSON)
-//	POST /jobs         submit a JobSpec; returns the job id immediately
+//	POST /jobs         submit a JobSpec; 202 + job id, or 429/503 when shed
 //	GET  /jobs         all job statuses
 //	GET  /jobs/{id}    one job, with live iteration progress while running
 //	GET  /jobs/{id}/flight  flight-recorder bundle (auto-captured on fault)
@@ -30,6 +30,16 @@
 // X-Trace-Id response header, and on its log lines, and keys the
 // /debug/trace endpoints. Requests are logged through log/slog with an
 // X-Request-Id correlation token.
+//
+// Admission: jobs execute on a fixed device pool (internal/sched), not one
+// goroutine per request. POST /jobs passes through admission control —
+// bounded priority queue (JobSpec.Priority), per-tenant token-bucket quota
+// keyed on the X-Tenant header, deadline feasibility (JobSpec.DeadlineMS),
+// and coalescing/caching of submissions with identical fingerprints. A shed
+// is 429 (queue-full, quota) or 503 (draining, would-miss-deadline) with a
+// Retry-After header and a JSON body naming the reason; an accepted job may
+// come back Coalesced (attached to an identical in-flight run) or CacheHit
+// (served from the completed-result LRU). See DESIGN.md §14.
 package httpapi
 
 import (

@@ -13,10 +13,20 @@ import (
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
-	t.Helper()
-	ts := httptest.NewServer(NewServer().Handler())
-	t.Cleanup(ts.Close)
+	ts, _ := newTestServerOpts(t)
 	return ts
+}
+
+// newTestServerOpts builds a server with explicit options and returns both
+// the HTTP front and the Server (for scheduler stats and drain control).
+// Cleanup closes the listener first, then stops the scheduler pool.
+func newTestServerOpts(t *testing.T, opts ...Option) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := NewServer(opts...)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
 }
 
 func get(t *testing.T, url string) (int, string) {

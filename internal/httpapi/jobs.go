@@ -2,18 +2,23 @@ package httpapi
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"nulpa/internal/engine"
+	"nulpa/internal/faults"
 	"nulpa/internal/health"
 	"nulpa/internal/metrics"
 	"nulpa/internal/nulpa"
 	"nulpa/internal/quality"
+	"nulpa/internal/sched"
 	"nulpa/internal/simt"
 	"nulpa/internal/telemetry"
 	"nulpa/internal/trace"
@@ -32,6 +37,19 @@ type JobSpec struct {
 	Seed          int64   `json:"seed,omitempty"`
 	Workers       int     `json:"workers,omitempty"`
 	BlockDim      int     `json:"blockDim,omitempty"`
+	// Priority orders dispatch from the admission queue: "high", "normal"
+	// (default), or "low". High-priority jobs always dispatch first.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMS is the job's latency budget for admission control: when
+	// the scheduler's service-time estimate says the job cannot finish
+	// within this budget, the submission is rejected with 503 instead of
+	// queued. 0 means no deadline.
+	DeadlineMS int64 `json:"deadlineMs,omitempty"`
+	// Faults injects faults into the nulpa simt/sharded backends (same
+	// syntax as the -faults flag, e.g. "kernel=0.01,seed=7"). Jobs with
+	// fault injection never coalesce or cache: each submission is its own
+	// chaos experiment.
+	Faults string `json:"faults,omitempty"`
 }
 
 // JobState is the lifecycle of a job.
@@ -73,6 +91,13 @@ type JobStatus struct {
 	// correlation token on every log line the job emitted. Empty when the
 	// job's root span was sampled out.
 	Trace string `json:"trace,omitempty"`
+	// Priority echoes the admitted priority class.
+	Priority string `json:"priority,omitempty"`
+	// Coalesced marks a job that shared an identical in-flight run instead
+	// of executing; CacheHit marks one answered from the result cache. Both
+	// carry the shared run's result.
+	Coalesced bool `json:"coalesced,omitempty"`
+	CacheHit  bool `json:"cacheHit,omitempty"`
 }
 
 // job is the server-side record.
@@ -86,6 +111,11 @@ type job struct {
 	rec       *telemetry.Recorder
 	res       *engine.Result
 	mod       float64
+	// priority is the parsed admission class; coalesced/cacheHit record how
+	// the scheduler resolved the job.
+	priority  sched.Priority
+	coalesced bool
+	cacheHit  bool
 	// span is the job's root trace span (nil when sampled out or tracing is
 	// off); traceID is its hex id, kept separately so status() never locks
 	// the span.
@@ -135,6 +165,9 @@ func (j *job) status() JobStatus {
 		st.DurationMS = float64(j.res.Duration) / float64(time.Millisecond)
 	}
 	st.Trace = j.traceID
+	st.Priority = j.priority.String()
+	st.Coalesced = j.coalesced
+	st.CacheHit = j.cacheHit
 	return st
 }
 
@@ -161,26 +194,75 @@ var (
 const DefaultMaxFinishedJobs = 256
 
 // jobStore holds the jobs of a server's lifetime, bounded by maxFinished.
+// Execution goes through the scheduler: submit runs admission control and
+// either queues the job on the device pool, attaches it to an identical
+// in-flight run, answers it from the result cache, or sheds it.
 type jobStore struct {
 	mu          sync.Mutex
 	next        int
 	jobs        map[int]*job
 	maxFinished int
+	sched       *sched.Scheduler
 }
 
-func newJobStore() *jobStore {
-	return &jobStore{next: 1, jobs: map[int]*job{}, maxFinished: DefaultMaxFinishedJobs}
+func newJobStore(sch *sched.Scheduler) *jobStore {
+	return &jobStore{next: 1, jobs: map[int]*job{}, maxFinished: DefaultMaxFinishedJobs, sched: sch}
 }
 
-// submit validates the spec, registers the job, and starts it on its own
-// goroutine. The graph is built inside the job so a slow generator or file
-// load never blocks the HTTP handler.
-func (s *jobStore) submit(spec JobSpec) (*job, error) {
+// fingerprint is the content hash that keys the scheduler's result cache and
+// request coalescing: every field that changes the detection's outcome. A
+// path-named graph hashes the file's identity (path, size, mtime) rather
+// than its bytes so submission never reads a multi-gigabyte file in the
+// handler; a stat failure, like a fault-injection spec, returns "" and
+// disables caching for the job.
+func fingerprint(spec JobSpec) string {
+	if spec.Faults != "" {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "algo=%s|iter=%d|tol=%g|seed=%d|workers=%d|block=%d|",
+		spec.Algo, spec.MaxIterations, spec.Tolerance, spec.Seed, spec.Workers, spec.BlockDim)
+	if spec.Graph.Path != "" {
+		fi, err := os.Stat(spec.Graph.Path)
+		if err != nil {
+			return ""
+		}
+		fmt.Fprintf(h, "path=%s|size=%d|mtime=%d", spec.Graph.Path, fi.Size(), fi.ModTime().UnixNano())
+	} else {
+		fmt.Fprintf(h, "gen=%s|n=%d|deg=%d|gseed=%d",
+			spec.Graph.Gen, spec.Graph.N, spec.Graph.Deg, spec.Graph.Seed)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// jobResult travels from a job's Run to every Done it resolves (its own and
+// its coalesced followers'): the detection plus its quality score, computed
+// once while the graph is still in hand.
+type jobResult struct {
+	res *engine.Result
+	mod float64
+}
+
+// submit validates the spec, registers the job, and hands it to the
+// scheduler. The graph is built inside the job's Run so a slow generator or
+// file load never blocks the HTTP handler. A shed submission (queue full,
+// quota, deadline, draining) returns *sched.ShedError and leaves no job
+// record behind.
+func (s *jobStore) submit(spec JobSpec, tenant string) (*job, error) {
 	if _, err := engine.MustGet(spec.Algo); err != nil {
 		return nil, err
 	}
 	if spec.Graph.Path == "" && spec.Graph.Gen == "" {
 		return nil, fmt.Errorf("job needs graph.path or graph.gen")
+	}
+	prio, err := sched.ParsePriority(spec.Priority)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Faults != "" {
+		if _, err := faults.ParseSpec(spec.Faults); err != nil {
+			return nil, fmt.Errorf("bad faults spec: %w", err)
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
@@ -190,6 +272,7 @@ func (s *jobStore) submit(spec JobSpec) (*job, error) {
 		rec:       telemetry.NewRecorder(),
 		cancel:    cancel,
 		store:     s,
+		priority:  prio,
 	}
 	s.mu.Lock()
 	j.id = s.next
@@ -214,10 +297,42 @@ func (s *jobStore) submit(spec JobSpec) (*job, error) {
 		Span:     j.span,
 	})
 	j.rec.SetSink(j.health)
+
+	dec, err := s.sched.Submit(&sched.Task{
+		Tenant:   tenant,
+		Priority: prio,
+		Key:      fingerprint(spec),
+		Budget:   time.Duration(spec.DeadlineMS) * time.Millisecond,
+		Ctx:      ctx,
+		Span:     j.span,
+		Run:      func(ctx context.Context) (any, error) { return j.execute(ctx) },
+		Done:     j.resolve,
+	})
+	if err != nil {
+		// Shed at admission: unwind the registration so a rejected
+		// submission leaves no record, no monitor, no span.
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		cancel()
+		j.health.Close()
+		j.span.SetString("state", "shed")
+		j.span.End()
+		slog.Warn("job shed", "job", j.id, "algo", spec.Algo, "tenant", tenant, "error", err)
+		return nil, err
+	}
+	if dec.Coalesced {
+		// The resolution flag arrives with Done when the primary finishes;
+		// the submit response should already say the job coalesced.
+		j.mu.Lock()
+		j.coalesced = true
+		j.mu.Unlock()
+	}
 	mJobsSubmitted.Inc()
 	slog.Info("job created",
-		"job", j.id, "algo", spec.Algo, "graph", spec.Graph.String(), "trace", j.traceID)
-	go j.run(ctx)
+		"job", j.id, "algo", spec.Algo, "graph", spec.Graph.String(),
+		"priority", prio.String(), "tenant", tenant,
+		"coalesced", dec.Coalesced, "cacheHit", dec.CacheHit, "trace", j.traceID)
 	return j, nil
 }
 
@@ -324,10 +439,11 @@ func (j *job) finish(state JobState, err error, res *engine.Result, mod float64)
 	j.store.noteFinished()
 }
 
-// run executes the job to completion. It is the only writer of state after
-// submission. A panicking detector is recovered here: the job fails, the
-// server survives.
-func (j *job) run(ctx context.Context) {
+// execute runs the detection on a scheduler worker. It is the job's
+// sched.Task Run callback: the graph is built here (so a slow generator
+// blocks a pool worker, never the HTTP handler), and a panicking detector is
+// recovered here so the job fails while the worker survives.
+func (j *job) execute(ctx context.Context) (out any, err error) {
 	j.mu.Lock()
 	j.state = JobRunning
 	j.mu.Unlock()
@@ -337,34 +453,23 @@ func (j *job) run(ctx context.Context) {
 	defer func() {
 		if r := recover(); r != nil {
 			mJobPanics.Inc()
-			j.finish(JobFailed, fmt.Errorf("detector panic: %v", r), nil, 0)
+			out, err = nil, fmt.Errorf("detector panic: %v", r)
 		}
 	}()
 
-	fail := func(err error) {
-		state := JobFailed
-		if engine.IsInterrupt(err) {
-			state = JobCanceled
-		}
-		j.finish(state, err, nil, 0)
-	}
-
 	g, err := j.spec.Graph.Build()
 	if err != nil {
-		fail(err)
-		return
+		return nil, err
 	}
 	j.health.SetTarget(g.NumVertices(), j.spec.Tolerance*float64(g.NumVertices()))
 	// A cancel that lands while the graph was building should not start the
 	// detector at all.
-	if err := ctx.Err(); err != nil {
-		fail(engine.CtxErr(err))
-		return
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, engine.CtxErr(cerr)
 	}
 	det, err := engine.MustGet(j.spec.Algo)
 	if err != nil {
-		fail(err)
-		return
+		return nil, err
 	}
 
 	opt := engine.DefaultOptions()
@@ -377,23 +482,67 @@ func (j *job) run(ctx context.Context) {
 	opt.Workers = j.spec.Workers
 	opt.BlockDim = j.spec.BlockDim
 	opt.Profiler = j.rec
-	if j.spec.Algo == "nulpa" {
+	if j.spec.Algo == "nulpa" || (j.spec.Faults != "" && j.spec.Algo == "nulpa-sharded") {
 		// The SIMT backend's device events feed both the job's recorder and
 		// the live metrics plane through one profiler hook.
 		nopt := nulpa.DefaultOptions()
-		nopt.Device = simt.NewDevice(j.spec.Workers)
-		nopt.Device.Prof = simt.MultiProfiler(j.rec, simt.NewMetricsProfiler())
+		if j.spec.Algo == "nulpa-sharded" {
+			nopt = nulpa.DefaultShardedOptions()
+		} else {
+			nopt.Device = simt.NewDevice(j.spec.Workers)
+			nopt.Device.Prof = simt.MultiProfiler(j.rec, simt.NewMetricsProfiler())
+		}
 		nopt.TrackStats = true
+		if j.spec.Faults != "" {
+			fspec, ferr := faults.ParseSpec(j.spec.Faults)
+			if ferr != nil {
+				return nil, fmt.Errorf("bad faults spec: %w", ferr)
+			}
+			nopt.Faults = faults.New(fspec)
+		}
 		opt.Extra = nopt
 	}
 
 	res, err := det.Detect(g, opt)
 	if err != nil {
-		fail(err)
+		return nil, err
+	}
+	return &jobResult{res: res, mod: quality.Modularity(g, res.Labels)}, nil
+}
+
+// resolve is the job's sched.Task Done callback — the single terminal path
+// for every admitted job, whether it ran, coalesced onto an identical run,
+// hit the result cache, was canceled while queued, or was flushed by Stop.
+func (j *job) resolve(out sched.Outcome) {
+	j.mu.Lock()
+	j.coalesced, j.cacheHit = out.Coalesced, out.CacheHit
+	shared := out.Coalesced || out.CacheHit
+	j.mu.Unlock()
+	if err := out.Err; err != nil {
+		// Raw context errors arrive from the canceled-while-queued path;
+		// map them onto the engine's typed interrupts like a run would.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			err = engine.CtxErr(err)
+		}
+		state := JobFailed
+		if engine.IsInterrupt(err) || errors.Is(err, sched.ErrStopped) {
+			state = JobCanceled
+		}
+		j.finish(state, err, nil, 0)
 		return
 	}
-	mod := quality.Modularity(g, res.Labels)
-	j.finish(JobDone, nil, res, mod)
+	jr, ok := out.Value.(*jobResult)
+	if !ok || jr == nil {
+		j.finish(JobFailed, fmt.Errorf("scheduler resolved job without a result"), nil, 0)
+		return
+	}
+	res := jr.res
+	if shared {
+		// The primary's result is shared with every coalesced sibling;
+		// clone so one consumer relabeling cannot corrupt the others.
+		res = res.Clone()
+	}
+	j.finish(JobDone, nil, res, jr.mod)
 }
 
 // noteFinished enforces the retention cap: when more than maxFinished jobs

@@ -184,6 +184,7 @@ func TestCancelJobNotFound(t *testing.T) {
 // evicting oldest-first, and counts the evictions.
 func TestJobEviction(t *testing.T) {
 	srv := NewServer(WithMaxFinishedJobs(3))
+	defer srv.Close()
 	evictedBefore := mJobsEvicted.Value()
 	var ids []int
 	for i := 0; i < 5; i++ {
@@ -232,6 +233,7 @@ func TestJobEviction(t *testing.T) {
 func TestCancelAll(t *testing.T) {
 	registerTestDetectors()
 	srv := NewServer()
+	defer srv.Close()
 	var ids []int
 	for i := 0; i < 3; i++ {
 		st, err := srv.Submit(JobSpec{Algo: "test-slow", Graph: GraphSpec{Gen: "er", N: 64, Deg: 4, Seed: 1}})

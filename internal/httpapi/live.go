@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"nulpa/internal/engine"
+	"nulpa/internal/metrics"
 )
 
 // Liveness vs readiness: /healthz answers "is the process up" and never
@@ -21,9 +22,15 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("ok\n"))
 }
 
-// BeginDrain flips readiness off. The -serve shutdown path calls it before
-// CancelAll so health checks fail ahead of the listener closing.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// BeginDrain flips readiness off and closes scheduler admission: /readyz
+// turns 503 for the load balancer, and every subsequent POST /jobs is
+// refused with 503 + Retry-After (shed reason "draining") while in-flight
+// jobs unwind. The -serve shutdown path calls it before CancelAll so health
+// checks fail ahead of the listener closing.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.sched.BeginDrain()
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -73,13 +80,22 @@ func (s *Server) jobFlight(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, b)
 }
 
+// mLiveLagged counts SSE clients disconnected for falling behind the frame
+// stream — the fan-out bound that keeps one stalled reader from holding a
+// growing backlog for the health monitor.
+var mLiveLagged = metrics.NewCounter("httpapi_live_lagged_total",
+	"SSE subscribers disconnected because they lagged the frame stream.")
+
 // liveJob handles GET /debug/live/{id}: the job's health frames as a
 // Server-Sent Events stream. The subscription is atomic with a catch-up
 // snapshot, so a client connecting mid-run (or even after the run finished)
 // receives every retained frame exactly once, then one "frame" event per
 // iteration as they happen, then an "end" event carrying the job's final
-// status when the run closes its monitor. Long-poll clients should note the
-// server's 60s write timeout and reconnect.
+// status when the run closes its monitor. Each subscriber owns a fixed
+// buffer; a client that cannot keep up is disconnected with a terminal
+// "lagged" event (carrying the dropped-frame count) instead of receiving a
+// silently gapped stream — reconnect to replay the retained ring. Long-poll
+// clients should also note the server's 60s write timeout and reconnect.
 func (s *Server) liveJob(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
@@ -104,8 +120,8 @@ func (s *Server) liveJob(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 
-	past, frames, cancel := j.health.Subscribe()
-	defer cancel()
+	past, sub := j.health.Subscribe()
+	defer sub.Cancel()
 	enc := json.NewEncoder(w)
 	for _, f := range past {
 		fmt.Fprintf(w, "event: frame\ndata: ")
@@ -115,7 +131,7 @@ func (s *Server) liveJob(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 	for {
 		select {
-		case f, ok := <-frames:
+		case f, ok := <-sub.Frames:
 			if !ok {
 				fmt.Fprintf(w, "event: end\ndata: ")
 				enc.Encode(j.status())
@@ -127,6 +143,15 @@ func (s *Server) liveJob(w http.ResponseWriter, r *http.Request) {
 			enc.Encode(f)
 			fmt.Fprintf(w, "\n")
 			fl.Flush()
+			// The write above may have blocked on a slow client while the
+			// run kept producing; once the subscriber's buffer overflowed,
+			// the stream has a gap — terminate it honestly.
+			if n := sub.Dropped(); n > 0 {
+				mLiveLagged.Inc()
+				fmt.Fprintf(w, "event: lagged\ndata: {\"dropped\":%d}\n\n", n)
+				fl.Flush()
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}

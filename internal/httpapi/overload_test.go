@@ -1,0 +1,298 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nulpa/internal/engine"
+	"nulpa/internal/graph"
+	"nulpa/internal/sched"
+)
+
+// briefDetector runs for a deterministic ~30ms — long enough to prime the
+// scheduler's service-time EWMA well above a 1ms budget, short enough to
+// keep the suite fast.
+type briefDetector struct{}
+
+func (briefDetector) Name() string { return "test-brief" }
+func (briefDetector) Detect(g *graph.CSR, opt engine.Options) (*engine.Result, error) {
+	select {
+	case <-time.After(30 * time.Millisecond):
+	case <-opt.Context.Done():
+		return nil, engine.CtxErr(opt.Context.Err())
+	}
+	return engine.NewResult(make([]uint32, g.NumVertices())), nil
+}
+
+var registerBriefDetector = sync.OnceFunc(func() { engine.Register(briefDetector{}) })
+
+// postJobRaw submits and returns the raw response (status, headers, body)
+// without failing on non-202 — the overload tests assert on rejections.
+func postJobRaw(t *testing.T, url, spec string, hdr map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/jobs", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	return resp, body
+}
+
+// slowSpec builds a test-slow JobSpec JSON with a distinct seed so the
+// submissions do not coalesce.
+func slowSpec(seed int) string {
+	return fmt.Sprintf(`{"algo":"test-slow","graph":{"gen":"er","n":64,"deg":4,"seed":%d}}`, seed)
+}
+
+// waitRunning polls /jobs until want jobs report "running".
+func waitRunning(t *testing.T, url string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := get(t, url+"/jobs")
+		if strings.Count(body, `"running"`) >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d running jobs: %s", want, body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestOverloadExactAdmission is the ISSUE's acceptance criterion at the HTTP
+// layer: with W workers and queue depth Q, a storm of N >> Q submissions
+// admits exactly W+Q jobs (202); every excess submission is shed with 429 +
+// Retry-After; no admitted job is lost.
+func TestOverloadExactAdmission(t *testing.T) {
+	registerTestDetectors()
+	const W, Q, extra = 2, 3, 15
+	ts, srv := newTestServerOpts(t, WithScheduler(sched.Config{Workers: W, QueueDepth: Q}))
+
+	var admitted []int
+	// Fill the workers and wait until both are actually running so the
+	// queue-depth accounting below is deterministic.
+	for i := 0; i < W; i++ {
+		resp, body := postJobRaw(t, ts.URL, slowSpec(100+i), nil)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("worker-filling submit %d = %d %s", i, resp.StatusCode, body)
+		}
+		var st JobStatus
+		json.Unmarshal([]byte(body), &st)
+		admitted = append(admitted, st.ID)
+	}
+	waitRunning(t, ts.URL, W)
+	// Fill the queue.
+	for i := 0; i < Q; i++ {
+		resp, body := postJobRaw(t, ts.URL, slowSpec(200+i), nil)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queue-filling submit %d = %d %s", i, resp.StatusCode, body)
+		}
+		var st JobStatus
+		json.Unmarshal([]byte(body), &st)
+		admitted = append(admitted, st.ID)
+	}
+	// The storm: every further submission must shed with 429 + Retry-After.
+	for i := 0; i < extra; i++ {
+		resp, body := postJobRaw(t, ts.URL, slowSpec(300+i), nil)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("excess submit %d = %d %s, want 429", i, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("excess submit %d: no Retry-After header", i)
+		}
+		if !strings.Contains(body, sched.ReasonQueueFull) {
+			t.Fatalf("excess submit %d: body %s, want reason queue-full", i, body)
+		}
+	}
+	st := srv.SchedulerStats()
+	if st.Admitted != W+Q {
+		t.Fatalf("scheduler admitted %d, want exactly %d", st.Admitted, W+Q)
+	}
+	if st.Shed[sched.ReasonQueueFull] != extra {
+		t.Fatalf("scheduler shed %v, want %d queue-full", st.Shed, extra)
+	}
+	// No admitted job is lost: cancel the storm and every admitted job
+	// reaches a terminal state.
+	srv.CancelAll()
+	for _, id := range admitted {
+		fin := pollUntilTerminal(t, ts.URL, id, 10*time.Second)
+		if fin.State != JobCanceled {
+			t.Errorf("job %d = %q, want canceled", id, fin.State)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SchedulerStats().Completed != st.Admitted {
+		if time.Now().After(deadline) {
+			t.Fatalf("completed %d of %d admitted tasks", srv.SchedulerStats().Completed, st.Admitted)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrainRefusesSubmissions: once BeginDrain is called, POST /jobs is shed
+// with 503 + Retry-After while status reads keep working.
+func TestDrainRefusesSubmissions(t *testing.T) {
+	registerTestDetectors()
+	ts, srv := newTestServerOpts(t)
+	st := postJob(t, ts.URL, `{"algo":"flpa","graph":{"gen":"er","n":64,"deg":4,"seed":1}}`)
+	pollUntilTerminal(t, ts.URL, st.ID, 10*time.Second)
+
+	srv.BeginDrain()
+	resp, body := postJobRaw(t, ts.URL, slowSpec(1), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining rejection carries no Retry-After")
+	}
+	if !strings.Contains(body, sched.ReasonDraining) {
+		t.Fatalf("draining rejection body = %s", body)
+	}
+	// Reads still serve: the drained instance answers status polls.
+	if code, _ := get(t, fmt.Sprintf("%s/jobs/%d", ts.URL, st.ID)); code != 200 {
+		t.Fatalf("status read while draining = %d", code)
+	}
+}
+
+// TestTenantQuota: the token bucket keys on X-Tenant; one tenant exhausting
+// its burst sheds with 429 while another is admitted.
+func TestTenantQuota(t *testing.T) {
+	registerTestDetectors()
+	ts, _ := newTestServerOpts(t, WithScheduler(sched.Config{
+		Workers: 2, QueueDepth: 16, QuotaRate: 0.001, QuotaBurst: 2,
+	}))
+	acme := map[string]string{"X-Tenant": "acme"}
+	for i := 0; i < 2; i++ {
+		resp, body := postJobRaw(t, ts.URL, slowSpec(400+i), acme)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("within-burst submit %d = %d %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := postJobRaw(t, ts.URL, slowSpec(402), acme)
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(body, sched.ReasonQuota) {
+		t.Fatalf("over-quota submit = %d %s, want 429 quota", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("quota rejection carries no Retry-After")
+	}
+	resp, body = postJobRaw(t, ts.URL, slowSpec(403), map[string]string{"X-Tenant": "globex"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant = %d %s, want 202", resp.StatusCode, body)
+	}
+}
+
+// TestDeadlineRejection: once the EWMA knows the service time, a submission
+// whose deadline budget cannot be met is rejected at admission with 503.
+func TestDeadlineRejection(t *testing.T) {
+	registerBriefDetector()
+	ts, srv := newTestServerOpts(t, WithScheduler(sched.Config{Workers: 1, QueueDepth: 8}))
+	st := postJob(t, ts.URL, `{"algo":"test-brief","graph":{"gen":"er","n":64,"deg":4,"seed":1}}`)
+	if fin := pollUntilTerminal(t, ts.URL, st.ID, 10*time.Second); fin.State != JobDone {
+		t.Fatalf("priming job = %+v", fin)
+	}
+	if ewma := srv.SchedulerStats().ServiceEWMA; ewma < 10*time.Millisecond {
+		t.Fatalf("EWMA after a 30ms run = %v", ewma)
+	}
+	resp, body := postJobRaw(t, ts.URL,
+		`{"algo":"test-brief","graph":{"gen":"er","n":64,"deg":4,"seed":2},"deadlineMs":1}`, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, sched.ReasonDeadline) {
+		t.Fatalf("1ms-budget submit = %d %s, want 503 would-miss-deadline", resp.StatusCode, body)
+	}
+	// A budget the EWMA can meet is admitted.
+	st = postJob(t, ts.URL,
+		`{"algo":"test-brief","graph":{"gen":"er","n":64,"deg":4,"seed":3},"deadlineMs":60000}`)
+	if fin := pollUntilTerminal(t, ts.URL, st.ID, 10*time.Second); fin.State != JobDone {
+		t.Fatalf("generous-budget job = %+v", fin)
+	}
+}
+
+// TestCoalesceAndCacheOverHTTP: identical concurrent submissions share one
+// run; an identical later submission is answered from the result cache.
+func TestCoalesceAndCacheOverHTTP(t *testing.T) {
+	registerTestDetectors()
+	ts, _ := newTestServerOpts(t, WithScheduler(sched.Config{Workers: 1, QueueDepth: 8}))
+
+	primary := postJob(t, ts.URL, slowSpec(500))
+	waitRunning(t, ts.URL, 1)
+	follower := postJob(t, ts.URL, slowSpec(500))
+	if !follower.Coalesced {
+		t.Fatalf("identical concurrent submission not coalesced: %+v", follower)
+	}
+	// Canceling the primary resolves the follower with the shared outcome.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/jobs/%d", ts.URL, primary.ID), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st := pollUntilTerminal(t, ts.URL, primary.ID, 10*time.Second); st.State != JobCanceled {
+		t.Fatalf("primary = %+v", st)
+	}
+	if st := pollUntilTerminal(t, ts.URL, follower.ID, 10*time.Second); st.State != JobCanceled {
+		t.Fatalf("coalesced follower = %+v", st)
+	}
+
+	// Cache path: run to completion once, then an identical submission is
+	// done before the handler returns, carrying the same result.
+	done1 := postJob(t, ts.URL, `{"algo":"flpa","graph":{"gen":"er","n":64,"deg":4,"seed":77}}`)
+	fin1 := pollUntilTerminal(t, ts.URL, done1.ID, 10*time.Second)
+	if fin1.State != JobDone {
+		t.Fatalf("cache-priming job = %+v", fin1)
+	}
+	hit := postJob(t, ts.URL, `{"algo":"flpa","graph":{"gen":"er","n":64,"deg":4,"seed":77}}`)
+	if !hit.CacheHit || hit.State != JobDone {
+		t.Fatalf("identical re-submission = %+v, want immediate cache hit", hit)
+	}
+	if hit.Communities != fin1.Communities {
+		t.Fatalf("cache hit communities = %d, primary %d", hit.Communities, fin1.Communities)
+	}
+}
+
+// TestPriorityDispatchOverHTTP: with one worker busy, a high-priority
+// submission leaves the queue before earlier low-priority ones.
+func TestPriorityDispatchOverHTTP(t *testing.T) {
+	registerBriefDetector()
+	ts, _ := newTestServerOpts(t, WithScheduler(sched.Config{Workers: 1, QueueDepth: 8}))
+
+	blocker := postJob(t, ts.URL, `{"algo":"test-brief","graph":{"gen":"er","n":64,"deg":4,"seed":1}}`)
+	low := postJob(t, ts.URL, `{"algo":"test-brief","graph":{"gen":"er","n":64,"deg":4,"seed":2},"priority":"low"}`)
+	hi := postJob(t, ts.URL, `{"algo":"test-brief","graph":{"gen":"er","n":64,"deg":4,"seed":3},"priority":"high"}`)
+	if low.Priority != "low" || hi.Priority != "high" {
+		t.Fatalf("priorities echoed wrong: low=%+v hi=%+v", low, hi)
+	}
+	pollUntilTerminal(t, ts.URL, blocker.ID, 10*time.Second)
+	hiFin := pollUntilTerminal(t, ts.URL, hi.ID, 10*time.Second)
+	lowFin := pollUntilTerminal(t, ts.URL, low.ID, 10*time.Second)
+	if hiFin.State != JobDone || lowFin.State != JobDone {
+		t.Fatalf("hi=%+v low=%+v", hiFin, lowFin)
+	}
+	// ctx cancellation makes wall-clock flaky to assert; dispatch order is
+	// in the scheduler's span events, but the strong signal is that the
+	// high job finished no later than the low one started + its runtime.
+	// The scheduler-level TestPriorityOrdering asserts strict order; here
+	// we only require both completed and the classes round-tripped.
+}
+
+func TestBadPriorityRejected(t *testing.T) {
+	ts, _ := newTestServerOpts(t)
+	resp, body := postJobRaw(t, ts.URL,
+		`{"algo":"flpa","graph":{"gen":"er","n":64,"deg":4,"seed":1},"priority":"urgent"}`, nil)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "priority") {
+		t.Fatalf("bad priority = %d %s, want 400", resp.StatusCode, body)
+	}
+}

@@ -2,7 +2,9 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -13,6 +15,7 @@ import (
 
 	"nulpa/internal/engine"
 	"nulpa/internal/metrics"
+	"nulpa/internal/sched"
 	"nulpa/internal/telemetry"
 	"nulpa/internal/trace"
 )
@@ -45,9 +48,14 @@ func init() {
 }
 
 // Server runs detections as jobs and serves the metrics plane. Create one
-// with NewServer and mount Handler on an http.Server.
+// with NewServer and mount Handler on an http.Server. Job execution goes
+// through a device-pool scheduler (internal/sched): a bounded admission
+// queue feeds a fixed worker pool, and overload sheds submissions with
+// 429/503 + Retry-After instead of spawning unbounded goroutines. Close
+// releases the pool.
 type Server struct {
 	jobs  *jobStore
+	sched *sched.Scheduler
 	start time.Time
 	mux   *http.ServeMux
 	// draining flips /readyz to 503 once graceful shutdown begins.
@@ -55,6 +63,10 @@ type Server struct {
 	// readyCheck overrides the readiness probe (tests); nil means "engine
 	// registry non-empty".
 	readyCheck func() bool
+	// construction-time knobs collected by Options before the scheduler and
+	// store exist.
+	schedCfg    sched.Config
+	maxFinished int
 }
 
 // Option configures a Server at construction.
@@ -64,17 +76,29 @@ type Option func(*Server)
 // oldest finished jobs beyond the cap are evicted. n <= 0 disables eviction.
 // The default is DefaultMaxFinishedJobs.
 func WithMaxFinishedJobs(n int) Option {
-	return func(s *Server) { s.jobs.maxFinished = n }
+	return func(s *Server) { s.maxFinished = n }
 }
 
-// NewServer returns a Server with an empty job store. Construction enables
-// the process tracer: a server without spans would serve /debug/trace from an
-// empty ring.
+// WithScheduler sizes the device-pool scheduler: worker count, admission
+// queue depth, per-tenant quota, result-cache entries. The zero Config (the
+// default) selects GOMAXPROCS workers, a queue of sched.DefaultQueueDepth,
+// no quotas, and a sched.DefaultCacheEntries-entry cache.
+func WithScheduler(cfg sched.Config) Option {
+	return func(s *Server) { s.schedCfg = cfg }
+}
+
+// NewServer returns a Server with an empty job store and a running
+// scheduler pool; callers own its lifecycle and must Close it. Construction
+// enables the process tracer: a server without spans would serve
+// /debug/trace from an empty ring.
 func NewServer(opts ...Option) *Server {
-	s := &Server{jobs: newJobStore(), start: time.Now(), mux: http.NewServeMux()}
+	s := &Server{start: time.Now(), mux: http.NewServeMux(), maxFinished: DefaultMaxFinishedJobs}
 	for _, o := range opts {
 		o(s)
 	}
+	s.sched = sched.New(s.schedCfg)
+	s.jobs = newJobStore(s.sched)
+	s.jobs.maxFinished = s.maxFinished
 	trace.Default().SetEnabled(true)
 	s.handle("GET /healthz", "healthz", s.healthz)
 	s.handle("GET /readyz", "readyz", s.readyz)
@@ -118,6 +142,19 @@ func NewHTTPServer(addr string, handler http.Handler) *http.Server {
 // CancelAll requests cancellation of every live job. The -serve shutdown
 // path calls it so in-flight detections unwind before the listener closes.
 func (s *Server) CancelAll() { s.jobs.cancelAll() }
+
+// Close drains and stops the scheduler pool: admission is refused, every
+// live job's context is canceled, still-queued jobs resolve as canceled
+// (sched.ErrStopped), and the call returns once the workers have exited.
+// The server's handlers remain usable for status reads afterwards.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.jobs.cancelAll()
+	s.sched.Stop()
+}
+
+// SchedulerStats exposes the scheduler's accounting (tests, diagnostics).
+func (s *Server) SchedulerStats() sched.Stats { return s.sched.Stats() }
 
 // Handler returns the server's route table.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -222,8 +259,15 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.jobs.submit(spec)
+	// The per-tenant admission quota keys on X-Tenant; absent means the
+	// anonymous tenant (which shares one bucket like any other).
+	j, err := s.jobs.submit(spec, r.Header.Get("X-Tenant"))
 	if err != nil {
+		var se *sched.ShedError
+		if errors.As(err, &se) {
+			writeShed(w, se)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -231,6 +275,27 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Trace-Id", j.traceID)
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// writeShed renders an admission rejection: 429 for transient overload
+// (queue full, quota) and 503 for conditions a fast retry cannot fix
+// (draining, a deadline the backlog cannot meet), both with a Retry-After
+// derived from the scheduler's observed service time.
+func writeShed(w http.ResponseWriter, se *sched.ShedError) {
+	code := http.StatusTooManyRequests
+	if se.Reason == sched.ReasonDraining || se.Reason == sched.ReasonDeadline {
+		code = http.StatusServiceUnavailable
+	}
+	secs := int(math.Ceil(se.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, code, map[string]any{
+		"error":        se.Error(),
+		"reason":       se.Reason,
+		"retryAfterMs": se.RetryAfter.Milliseconds(),
+	})
 }
 
 func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
@@ -334,9 +399,10 @@ func (s *Server) getTraceChrome(w http.ResponseWriter, r *http.Request) {
 }
 
 // Submit starts a job directly (the -serve CLI path submits its initial job
-// this way, before the listener is up).
+// this way, before the listener is up). It passes through the same admission
+// control as POST /jobs, as the anonymous tenant.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
-	j, err := s.jobs.submit(spec)
+	j, err := s.jobs.submit(spec, "")
 	if err != nil {
 		return JobStatus{}, err
 	}

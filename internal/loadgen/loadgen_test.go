@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nulpa/internal/bench"
+	"nulpa/internal/httpapi"
+	"nulpa/internal/sched"
+)
+
+func newPlane(t *testing.T, cfg sched.Config) *httptest.Server {
+	t.Helper()
+	srv := httpapi.NewServer(httpapi.WithScheduler(cfg))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunAgainstServingPlane drives a short open-loop run against a real
+// in-process serving plane and checks the full pipeline: every submission
+// is accounted for, nothing is lost, the server-side ledger balances, and
+// the report carries sane latency numbers.
+func TestRunAgainstServingPlane(t *testing.T) {
+	ts := newPlane(t, sched.Config{Workers: 2, QueueDepth: 32})
+	r, err := Run(context.Background(), Config{
+		URL:        ts.URL,
+		Rate:       200,
+		Jobs:       24,
+		Algo:       "flpa",
+		N:          256,
+		Deg:        6,
+		Priorities: []string{"high", "normal", "low"},
+		Tenants:    3,
+		JobTimeout: 30 * time.Second,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Submitted != 24 {
+		t.Fatalf("submitted = %d, want 24", r.Submitted)
+	}
+	if r.Admitted+r.Shed429+r.Shed503+r.Errors != r.Submitted {
+		t.Fatalf("ledger does not balance: %+v", r)
+	}
+	if r.Lost != 0 || r.Errors != 0 {
+		t.Fatalf("lost=%d errors=%d, want 0/0", r.Lost, r.Errors)
+	}
+	if r.ShedMissingRetryAfter != 0 {
+		t.Fatalf("%d sheds missing Retry-After", r.ShedMissingRetryAfter)
+	}
+	if !r.MetricsBalanced {
+		t.Fatalf("server ledger unbalanced: %s", r.CrosscheckDetail)
+	}
+	if r.Done == 0 {
+		t.Fatalf("no jobs completed: %+v", r)
+	}
+	if r.Done > 0 && (r.E2EP50MS <= 0 || r.E2EP99MS < r.E2EP50MS) {
+		t.Fatalf("implausible latency percentiles: p50=%.2f p99=%.2f", r.E2EP50MS, r.E2EP99MS)
+	}
+	if !r.Healthy() {
+		t.Fatalf("report not healthy: %+v", r)
+	}
+}
+
+// TestRunShedsUnderOverload saturates a tiny pool and checks that the
+// driver observes honest shedding — 429s with Retry-After — while every
+// admitted job still resolves.
+func TestRunShedsUnderOverload(t *testing.T) {
+	ts := newPlane(t, sched.Config{Workers: 1, QueueDepth: 2})
+	r, err := Run(context.Background(), Config{
+		URL:        ts.URL,
+		Rate:       2000, // far past a 1-worker pool on n=2000 graphs
+		Jobs:       30,
+		Algo:       "flpa",
+		N:          2000,
+		Deg:        8,
+		JobTimeout: 60 * time.Second,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Shed429 == 0 {
+		t.Fatalf("expected queue-full sheds at 2000/s on a 1-worker pool: %+v", r)
+	}
+	if r.Lost != 0 {
+		t.Fatalf("lost %d admitted jobs", r.Lost)
+	}
+	if r.ShedMissingRetryAfter != 0 {
+		t.Fatalf("%d sheds missing Retry-After", r.ShedMissingRetryAfter)
+	}
+	if !r.MetricsBalanced {
+		t.Fatalf("server ledger unbalanced: %s", r.CrosscheckDetail)
+	}
+}
+
+// TestIdenticalSubmissionsCoalesce checks the Identical knob: same spec
+// repeatedly submitted should coalesce or cache-hit rather than recompute.
+func TestIdenticalSubmissionsCoalesce(t *testing.T) {
+	ts := newPlane(t, sched.Config{Workers: 2, QueueDepth: 32})
+	r, err := Run(context.Background(), Config{
+		URL:        ts.URL,
+		Rate:       500,
+		Jobs:       12,
+		Algo:       "flpa",
+		N:          1500,
+		Deg:        8,
+		Identical:  true,
+		JobTimeout: 30 * time.Second,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Lost != 0 || !r.MetricsBalanced {
+		t.Fatalf("unhealthy identical run: %+v", r)
+	}
+	if r.Coalesced+r.CacheHits == 0 {
+		t.Fatalf("identical submissions neither coalesced nor cache-hit: %+v", r)
+	}
+}
+
+// TestAppendBenchHistory checks the bench-history bridge round-trips.
+func TestAppendBenchHistory(t *testing.T) {
+	r := &Report{Schema: ReportSchema, Algo: "flpa", Graph: "er(n=1000,deg=8)",
+		Rate: 100, Submitted: 10, Admitted: 10, Done: 10, GoodputPerSec: 42.5,
+		MetricsBalanced: true, CrosscheckDetail: "submitted=10 finished=10"}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	n, err := r.AppendBenchHistory(path)
+	if err != nil || n != 1 {
+		t.Fatalf("AppendBenchHistory = %d, %v", n, err)
+	}
+	h, err := bench.ReadHistory(path)
+	if err != nil || len(h.Entries) != 1 {
+		t.Fatalf("ReadHistory: %d entries, %v", len(h.Entries), err)
+	}
+	e := h.Entries[0]
+	if e.Experiment != "loadgen" || len(e.Report.Tables) != 1 || e.Report.Tables[0].ID != "loadgen" {
+		t.Fatalf("bad history entry: %+v", e)
+	}
+	if _, err := os.Stat(path + ".tmp"); err == nil {
+		t.Fatalf("temp file left behind")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0.5, 5}, {0.9, 9}, {0.99, 10}, {0.0, 1}}
+	for _, c := range cases {
+		if got := percentile(xs, c.p); got != c.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+}

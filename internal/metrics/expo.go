@@ -91,7 +91,13 @@ func writeHistogram(bw *bufio.Writer, name, label, value string, h *Histogram) {
 		bw.WriteString(name + "_bucket{" + pre + "le=\"" + formatFloat(b) + "\"} " + formatInt(cum) + "\n")
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	bw.WriteString(name + "_bucket{" + pre + "le=\"+Inf\"} " + formatInt(cum) + "\n")
+	bw.WriteString(name + "_bucket{" + pre + "le=\"+Inf\"} " + formatInt(cum))
+	if ex := h.Exemplar(); ex != nil {
+		bw.WriteString(" # {trace_id=\"" + escapeLabel(ex.TraceID) + "\"} " +
+			formatFloat(ex.Value) + " " +
+			strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
+	}
+	bw.WriteString("\n")
 	suffix := ""
 	if label != "" {
 		suffix = "{" + label + "=\"" + escapeLabel(value) + "\"}"

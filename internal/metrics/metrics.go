@@ -94,6 +94,18 @@ func (g *Gauge) Add(delta float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// HistExemplar links a histogram observation to the trace that produced it:
+// an SLO latency spike on /metrics names the trace to open in /debug/trace.
+// Only the most recent exemplified observation is kept.
+type HistExemplar struct {
+	// TraceID is the 16-hex-digit trace id (internal/trace form).
+	TraceID string
+	// Value is the observed value.
+	Value float64
+	// Time is when the observation happened.
+	Time time.Time
+}
+
 // Histogram counts observations into fixed buckets and tracks their sum.
 // Buckets are defined by ascending upper bounds; observations above the last
 // bound land in an implicit +Inf bucket. All updates are atomic.
@@ -102,6 +114,7 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is +Inf
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits
+	ex     atomic.Pointer[HistExemplar]
 }
 
 // Observe records one observation.
@@ -119,6 +132,19 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 }
+
+// ObserveExemplar records one observation and, when traceID is non-empty,
+// keeps it as the histogram's exemplar. The exemplar is rendered in
+// OpenMetrics style on the +Inf bucket line.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&HistExemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
+}
+
+// Exemplar returns the most recent exemplar, or nil if none was recorded.
+func (h *Histogram) Exemplar() *HistExemplar { return h.ex.Load() }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }

@@ -41,6 +41,34 @@ func TestKindClashPanics(t *testing.T) {
 	r.Gauge("x", "")
 }
 
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", ExpBuckets(0.001, 4, 6))
+	h.Observe(0.5) // plain observation leaves no exemplar
+	if h.Exemplar() != nil {
+		t.Fatal("exemplar set by plain Observe")
+	}
+	h.ObserveExemplar(0.25, "") // empty trace id records nothing
+	if h.Exemplar() != nil {
+		t.Fatal("exemplar set for empty trace id")
+	}
+	h.ObserveExemplar(1.5, "deadbeefdeadbeef")
+	ex := h.Exemplar()
+	if ex == nil || ex.TraceID != "deadbeefdeadbeef" || ex.Value != 1.5 {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3 (exemplified observations still count)", h.Count())
+	}
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	txt := buf.String()
+	if !strings.Contains(txt, `lat_seconds_bucket{le="+Inf"} 3 # {trace_id="deadbeefdeadbeef"} 1.5`) {
+		t.Errorf("exposition lacks the OpenMetrics exemplar:\n%s", txt)
+	}
+}
+
 func TestExpBuckets(t *testing.T) {
 	b := ExpBuckets(1, 2, 4)
 	want := []float64{1, 2, 4, 8}

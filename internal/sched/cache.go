@@ -1,0 +1,90 @@
+package sched
+
+import "container/list"
+
+// resultCache backs cache hits and request coalescing. Two structures share
+// the content-hash key space:
+//
+//   - done: an LRU of completed successful results, so an identical
+//     re-submission is answered without consuming a worker.
+//   - inflight: the currently-running (or queued) primary per key with the
+//     follower tasks attached to it, so identical concurrent submissions
+//     coalesce onto one run instead of N.
+//
+// The scheduler consults the cache under its own mutex; the cache needs no
+// locking of its own. Followers are resolved by the scheduler outside the
+// lock when the primary finishes.
+type resultCache struct {
+	max      int
+	done     map[string]*list.Element // key -> *entry element
+	lru      *list.List               // front = most recent
+	inflight map[string][]*Task       // key -> followers of the running primary
+}
+
+type entry struct {
+	key   string
+	value any
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:      max,
+		done:     map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string][]*Task{},
+	}
+}
+
+// get returns the cached completed result for key, refreshing its recency.
+func (c *resultCache) get(key string) (any, bool) {
+	el, ok := c.done[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// join attaches t as a follower of key's in-flight primary, reporting false
+// when no run is in flight for key.
+func (c *resultCache) join(key string, t *Task) bool {
+	followers, ok := c.inflight[key]
+	if !ok {
+		return false
+	}
+	c.inflight[key] = append(followers, t)
+	return true
+}
+
+// begin registers t as key's in-flight primary so later identical
+// submissions coalesce onto it.
+func (c *resultCache) begin(key string, t *Task) {
+	if _, ok := c.inflight[key]; !ok {
+		c.inflight[key] = nil
+	}
+}
+
+// complete ends key's in-flight run, returning its followers for the
+// scheduler to resolve. When cacheable (the primary ran and succeeded), the
+// value enters the LRU.
+func (c *resultCache) complete(key string, value any, cacheable bool) []*Task {
+	followers := c.inflight[key]
+	delete(c.inflight, key)
+	if cacheable {
+		if el, ok := c.done[key]; ok {
+			el.Value.(*entry).value = value
+			c.lru.MoveToFront(el)
+		} else {
+			c.done[key] = c.lru.PushFront(&entry{key: key, value: value})
+			if c.lru.Len() > c.max {
+				oldest := c.lru.Back()
+				c.lru.Remove(oldest)
+				delete(c.done, oldest.Value.(*entry).key)
+			}
+		}
+	}
+	return followers
+}
+
+// len reports the number of completed entries (for tests).
+func (c *resultCache) len() int { return c.lru.Len() }

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.begin(k, nil)
+		c.complete(k, i, true)
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, cap 2", c.len())
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Fatalf("oldest entry k0 survived eviction")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %s evicted early", k)
+		}
+	}
+	// get refreshes recency: touch k1, insert k3, k2 is now the victim.
+	c.get("k1")
+	c.begin("k3", nil)
+	c.complete("k3", 3, true)
+	if _, ok := c.get("k2"); ok {
+		t.Fatalf("recency not refreshed: k2 should be the eviction victim")
+	}
+	if _, ok := c.get("k1"); !ok {
+		t.Fatalf("recently used k1 evicted")
+	}
+}
+
+func TestCacheJoinRequiresInflight(t *testing.T) {
+	c := newResultCache(4)
+	if c.join("nope", &Task{}) {
+		t.Fatalf("joined a key with no in-flight run")
+	}
+	c.begin("k", nil)
+	f1, f2 := &Task{}, &Task{}
+	if !c.join("k", f1) || !c.join("k", f2) {
+		t.Fatalf("join on in-flight key failed")
+	}
+	followers := c.complete("k", "v", true)
+	if len(followers) != 2 || followers[0] != f1 || followers[1] != f2 {
+		t.Fatalf("complete returned %d followers", len(followers))
+	}
+	// The run is no longer in flight; a new submission is a fresh primary.
+	if c.join("k", &Task{}) {
+		t.Fatalf("joined after completion")
+	}
+	if v, ok := c.get("k"); !ok || v != "v" {
+		t.Fatalf("completed value not cached: %v %v", v, ok)
+	}
+}
+
+func TestCacheUncacheableCompletion(t *testing.T) {
+	c := newResultCache(4)
+	c.begin("k", nil)
+	f := &Task{}
+	c.join("k", f)
+	followers := c.complete("k", nil, false) // failed or flushed run
+	if len(followers) != 1 {
+		t.Fatalf("followers = %d", len(followers))
+	}
+	if _, ok := c.get("k"); ok {
+		t.Fatalf("uncacheable completion entered the cache")
+	}
+}

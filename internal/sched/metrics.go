@@ -1,0 +1,40 @@
+package sched
+
+import "nulpa/internal/metrics"
+
+// The scheduler's observable surface. Queue depth, running count, and the
+// shed/admit counters are the overload dashboard; the three histograms
+// decompose end-to-end latency into queue wait and service time, and the
+// end-to-end SLO histogram carries trace exemplars so a latency bucket links
+// to a concrete trace in /debug/trace.
+var (
+	mWorkers = metrics.NewGauge("sched_workers",
+		"Size of the device worker pool.")
+	mQueueDepth = metrics.NewGauge("sched_queue_depth",
+		"Tasks currently waiting in the admission queue.")
+	mRunning = metrics.NewGauge("sched_running",
+		"Tasks currently executing on pool workers.")
+	mRetryAfter = metrics.NewGauge("sched_retry_after_seconds",
+		"Most recent Retry-After hint attached to a shed response.")
+
+	mAdmitted = metrics.NewCounterVec("sched_admitted_total",
+		"Tasks admitted to the queue, by priority.", "priority")
+	mShed = metrics.NewCounterVec("sched_shed_total",
+		"Tasks rejected at admission, by shed reason.", "reason")
+	mCoalesced = metrics.NewCounter("sched_coalesced_total",
+		"Tasks attached to an identical in-flight run instead of running.")
+	mCacheHits = metrics.NewCounter("sched_cache_hits_total",
+		"Tasks answered from the completed-result cache.")
+	mPanics = metrics.NewCounter("sched_task_panics_total",
+		"Task runs that panicked (recovered; the task fails, the worker survives).")
+
+	mQueueWait = metrics.NewHistogram("sched_queue_wait_seconds",
+		"Time from admission to dispatch.",
+		[]float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30})
+	mService = metrics.NewHistogram("sched_service_seconds",
+		"Task execution time on a pool worker.",
+		[]float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30})
+	mE2ELatency = metrics.NewHistogram("sched_e2e_latency_seconds",
+		"End-to-end task latency from admission to resolution (SLO histogram; carries trace exemplars).",
+		[]float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60})
+)

@@ -1,0 +1,65 @@
+package sched
+
+// pqueue is the admission queue: one FIFO per priority level, popped
+// highest-priority-first. The bound is enforced by the scheduler (the queue
+// itself is unbounded) so a shed decision can be made before pushing.
+//
+// Each level is a slice with a head index rather than a linked list: pops
+// advance head, and the backing array is recycled once drained, so steady
+// state allocates nothing. With QueueDepth in the tens-to-thousands range
+// the O(levels) pop scan is three comparisons.
+type pqueue struct {
+	levels [numPriorities]fifo
+	n      int
+}
+
+type fifo struct {
+	buf  []*Task
+	head int
+}
+
+func newPQueue() *pqueue { return &pqueue{} }
+
+func (q *pqueue) len() int { return q.n }
+
+func (q *pqueue) push(t *Task) {
+	p := t.Priority
+	if p < 0 || p >= numPriorities {
+		p = Normal
+	}
+	l := &q.levels[p]
+	l.buf = append(l.buf, t)
+	q.n++
+}
+
+// pop removes the oldest task of the highest non-empty priority, or nil.
+func (q *pqueue) pop() *Task {
+	if q.n == 0 {
+		return nil
+	}
+	for p := range q.levels {
+		l := &q.levels[p]
+		if l.head >= len(l.buf) {
+			continue
+		}
+		t := l.buf[l.head]
+		l.buf[l.head] = nil // release for GC
+		l.head++
+		if l.head == len(l.buf) {
+			l.buf = l.buf[:0]
+			l.head = 0
+		}
+		q.n--
+		return t
+	}
+	return nil
+}
+
+// drain empties the queue and returns the removed tasks in dispatch order.
+func (q *pqueue) drain() []*Task {
+	out := make([]*Task, 0, q.n)
+	for t := q.pop(); t != nil; t = q.pop() {
+		out = append(out, t)
+	}
+	return out
+}

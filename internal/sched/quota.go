@@ -1,0 +1,92 @@
+package sched
+
+import "time"
+
+// quotaSet is the per-tenant admission quota: a classic token bucket per
+// tenant, refilled continuously at rate tokens/second up to burst. The
+// scheduler consults it under its own mutex, so the set needs no locking of
+// its own.
+//
+// The tenant map is bounded: the X-Tenant header is client-controlled, and
+// an adversary cycling tenant names must not grow server memory without
+// limit. At maxTenants the set evicts the bucket that has been idle longest;
+// an evicted tenant that returns simply starts with a full bucket again —
+// quota enforcement degrades toward generosity, never toward a leak.
+type quotaSet struct {
+	rate    float64 // tokens per second; 0 disables quotas
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill
+}
+
+// maxTenants bounds the bucket map against tenant-name churn.
+const maxTenants = 1024
+
+func newQuotaSet(rate float64, burst int) *quotaSet {
+	return &quotaSet{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow takes one token from tenant's bucket, reporting false when the
+// bucket is empty. A nil-rate set always allows.
+func (q *quotaSet) allow(tenant string, now time.Time) bool {
+	if q.rate <= 0 {
+		return true
+	}
+	b := q.bucket(tenant, now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// nextToken estimates when tenant's bucket will hold one token — the
+// Retry-After hint for quota sheds.
+func (q *quotaSet) nextToken(tenant string, now time.Time) time.Duration {
+	if q.rate <= 0 {
+		return 0
+	}
+	b := q.bucket(tenant, now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+}
+
+// bucket returns tenant's refilled bucket, creating (and bounding) as
+// needed.
+func (q *quotaSet) bucket(tenant string, now time.Time) *bucket {
+	b, ok := q.buckets[tenant]
+	if !ok {
+		if len(q.buckets) >= maxTenants {
+			q.evictIdlest()
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+		return b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	return b
+}
+
+func (q *quotaSet) evictIdlest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for k, b := range q.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = k, b.last, false
+		}
+	}
+	delete(q.buckets, victim)
+}

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestQuotaBurstAndRefill(t *testing.T) {
+	q := newQuotaSet(10, 3) // 10 tokens/s, burst 3
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if !q.allow("a", now) {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if q.allow("a", now) {
+		t.Fatalf("allowed past burst")
+	}
+	if ra := q.nextToken("a", now); ra <= 0 || ra > 200*time.Millisecond {
+		t.Fatalf("nextToken = %v, want ~100ms", ra)
+	}
+	// 100ms refills exactly one token at 10/s.
+	now = now.Add(100 * time.Millisecond)
+	if !q.allow("a", now) {
+		t.Fatalf("refilled token denied")
+	}
+	if q.allow("a", now) {
+		t.Fatalf("allowed a token that has not refilled yet")
+	}
+	// A long idle period refills to burst, never beyond.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !q.allow("a", now) {
+			t.Fatalf("post-idle token %d denied", i)
+		}
+	}
+	if q.allow("a", now) {
+		t.Fatalf("idle refill exceeded burst")
+	}
+}
+
+func TestQuotaTenantsIndependent(t *testing.T) {
+	q := newQuotaSet(1, 1)
+	now := time.Unix(1000, 0)
+	if !q.allow("a", now) || !q.allow("b", now) {
+		t.Fatalf("independent tenants should each get their burst")
+	}
+	if q.allow("a", now) {
+		t.Fatalf("tenant a should be exhausted")
+	}
+}
+
+func TestQuotaZeroRateAllowsAll(t *testing.T) {
+	q := newQuotaSet(0, 0)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 1000; i++ {
+		if !q.allow("any", now) {
+			t.Fatalf("zero-rate quota denied request %d", i)
+		}
+	}
+	if ra := q.nextToken("any", now); ra != 0 {
+		t.Fatalf("zero-rate nextToken = %v", ra)
+	}
+}
+
+// TestQuotaTenantMapBounded: an adversary cycling tenant names cannot grow
+// the bucket map past maxTenants.
+func TestQuotaTenantMapBounded(t *testing.T) {
+	q := newQuotaSet(1, 1)
+	now := time.Unix(1000, 0)
+	for i := 0; i < maxTenants*2; i++ {
+		q.allow(fmt.Sprintf("tenant-%d", i), now.Add(time.Duration(i)*time.Millisecond))
+	}
+	if n := len(q.buckets); n > maxTenants {
+		t.Fatalf("bucket map grew to %d, cap %d", n, maxTenants)
+	}
+	// The survivor set is the most recently active tenants.
+	if _, ok := q.buckets[fmt.Sprintf("tenant-%d", maxTenants*2-1)]; !ok {
+		t.Fatalf("most recent tenant evicted")
+	}
+}

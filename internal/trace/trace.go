@@ -134,6 +134,19 @@ func (s *Span) SetInt(key string, value int64) {
 	s.mu.Unlock()
 }
 
+// SetFloat sets a float attribute.
+func (s *Span) SetFloat(key string, value float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
 // SetBool sets a boolean attribute.
 func (s *Span) SetBool(key string, value bool) {
 	if s == nil {

@@ -260,3 +260,19 @@ func TestParseTraceID(t *testing.T) {
 		t.Fatalf("TraceSpans(%v) = %d spans, want 1", id, len(spans))
 	}
 }
+
+func TestSetFloatAttr(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.SetFloat("x", 1.5) // nil-span contract: no panic
+	tr := deterministic(8)
+	_, s := tr.Root(context.Background(), "op")
+	s.SetFloat("waitMs", 12.5)
+	s.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("resident spans = %d, want 1", len(spans))
+	}
+	if got, ok := spans[0].Attrs["waitMs"].(float64); !ok || got != 12.5 {
+		t.Fatalf("waitMs attr = %v, want 12.5", spans[0].Attrs["waitMs"])
+	}
+}

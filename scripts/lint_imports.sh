@@ -7,7 +7,9 @@
 #   2. Every other package may import at most nulpa/internal/nulpa among the
 #      algorithm packages (bench and cmd/nulpa need its Options type for the
 #      paper's parameter sweeps); the rest are reached via the registry.
-#   3. Exemptions, each for a reason the registry cannot express:
+#   3. nulpa/internal/sched schedules opaque closures; among nulpa packages
+#      it may import only metrics and trace, never graphs/engines/HTTP.
+#   4. Exemptions, each for a reason the registry cannot express:
 #      nulpa/internal/engine/all exists to blank-import every algorithm so a
 #      registry consumer pulls them all in with one import, and
 #      nulpa/examples/overlap type-asserts Result.Extra to the native
@@ -36,6 +38,13 @@ BEGIN {
         # Only cmd/bench and cmd/perfdiff may consume it.
         if (imp == "nulpa/internal/perfdiff" && pkg != "nulpa/cmd/bench" && pkg != "nulpa/cmd/perfdiff") {
             print pkg " imports nulpa/internal/perfdiff (only cmd/bench and cmd/perfdiff may; perfdiff is the top of the capture stack)"
+            bad = 1
+        }
+        # sched is a generic serving primitive: it schedules opaque closures
+        # and must stay ignorant of graphs, engines, and HTTP. Among internal
+        # packages it may import only metrics and trace (observability).
+        if (pkg == "nulpa/internal/sched" && imp ~ /^nulpa\// && imp != "nulpa/internal/metrics" && imp != "nulpa/internal/trace") {
+            print pkg " imports " imp " (sched may import only metrics and trace among nulpa packages)"
             bad = 1
         }
         if (!(imp in algo)) continue
