@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-full bench chaos trace-smoke perfdiff-smoke shard-smoke health-smoke load-smoke
+.PHONY: check build vet lint test test-full bench chaos trace-smoke perfdiff-smoke shard-smoke health-smoke load-smoke quality-smoke
 
-check: vet lint test chaos shard-smoke trace-smoke health-smoke load-smoke
+check: vet lint test chaos shard-smoke trace-smoke health-smoke load-smoke quality-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,14 @@ health-smoke:
 # and a bench-history entry for the run.
 load-smoke:
 	sh scripts/load_smoke.sh
+
+# Quality smoke: the quality telemetry plane end to end — a planted-partition
+# one-shot with -quality must land above the modularity floor with estimator
+# drift inside the 1e-6 budget, and a quality-enabled job on a live server
+# must surface its final modularity both on the job status and as
+# engine_quality_run_modularity on /metrics, the two agreeing.
+quality-smoke:
+	sh scripts/quality_smoke.sh
 
 # Perfdiff smoke: bench twice into one history file, diff the pair with
 # cmd/perfdiff, and validate the attribution report (coverage of the work

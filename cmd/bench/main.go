@@ -32,18 +32,20 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id or 'all': "+strings.Join(bench.ExperimentIDs(), ", "))
-		scaleStr   = flag.String("scale", "small", "dataset scale: small, medium, large")
-		reps       = flag.Int("reps", 1, "timing repetitions per cell (minimum kept)")
-		sms        = flag.Int("sms", 0, "simulated streaming multiprocessors (0 = host parallelism)")
-		graphs     = flag.String("graphs", "", "comma-separated dataset names (default: all of Table 1)")
-		out        = flag.String("o", "", "write markdown to this file instead of stdout")
-		jsonOut    = flag.String("json", "", "also write all tables (with per-iteration series) as JSON to this file")
-		verbose    = flag.Bool("v", false, "print per-cell progress to stderr")
-		baseline   = flag.String("baseline", "", "compare this run's perf medians against a saved JSON report")
-		check      = flag.Bool("check", false, "exit 1 when any baseline comparison exceeds -threshold")
-		threshold  = flag.Float64("threshold", 1.5, "regression ratio above which -check fails (current/baseline)")
-		history    = flag.String("history", bench.DefaultHistoryPath(), "append this run to a bench history file (\"\" disables)")
+		experiment  = flag.String("experiment", "all", "experiment id or 'all': "+strings.Join(bench.ExperimentIDs(), ", "))
+		scaleStr    = flag.String("scale", "small", "dataset scale: small, medium, large")
+		reps        = flag.Int("reps", 1, "timing repetitions per cell (minimum kept)")
+		sms         = flag.Int("sms", 0, "simulated streaming multiprocessors (0 = host parallelism)")
+		graphs      = flag.String("graphs", "", "comma-separated dataset names (default: all of Table 1)")
+		out         = flag.String("o", "", "write markdown to this file instead of stdout")
+		jsonOut     = flag.String("json", "", "also write all tables (with per-iteration series) as JSON to this file")
+		verbose     = flag.Bool("v", false, "print per-cell progress to stderr")
+		baseline    = flag.String("baseline", "", "compare this run's perf medians against a saved JSON report")
+		check       = flag.Bool("check", false, "exit 1 when any baseline comparison exceeds -threshold")
+		threshold   = flag.Float64("threshold", 1.5, "regression ratio above which -check fails (current/baseline)")
+		qualityDrop = flag.Float64("quality-drop", 0.05, "modularity floor: -check fails when a cell's final Q falls this far below baseline")
+		driftMax    = flag.Float64("drift-max", 1e-6, "estimator-drift gate: -check fails when live-vs-exact modularity drift exceeds this")
+		history     = flag.String("history", bench.DefaultHistoryPath(), "append this run to a bench history file (\"\" disables)")
 	)
 	flag.Parse()
 
@@ -129,6 +131,15 @@ func main() {
 		}
 		cs := bench.CompareReports(base, report)
 		regressed := bench.WriteComparison(w, cs, *threshold)
+		qcs := bench.CompareQuality(base, report)
+		qualityFailed := bench.WriteQualityGate(w, qcs, *qualityDrop, *driftMax)
+		if *check && qualityFailed > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d cell(s) failed the quality gate\n", qualityFailed)
+			if line := bench.QualityOffender(qcs, *qualityDrop, *driftMax); line != "" {
+				fmt.Fprintf(os.Stderr, "bench: %s\n", line)
+			}
+			os.Exit(1)
+		}
 		if *check && regressed > 0 {
 			fmt.Fprintf(os.Stderr, "bench: %d cell(s) regressed beyond %.2f× of baseline\n", regressed, *threshold)
 			// Attribute the failure: diff every series (timings and work

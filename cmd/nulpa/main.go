@@ -78,6 +78,7 @@ func main() {
 		faultSpec = flag.String("faults", "", "nulpa simt backend: inject faults, e.g. 'kernel=0.01,bitflip=0.01,seed=7' (chaos testing)")
 		deadline  = flag.Duration("deadline", 0, "abort the one-shot detection after this duration (0 = no deadline)")
 		healthOn  = flag.Bool("health", false, "print a convergence-health summary line per iteration")
+		qualityOn = flag.Bool("quality", false, "run the live quality plane and print the final census with a live-vs-exact modularity line")
 		flightOut = flag.String("flight-out", "", "write the run's flight-recorder bundle (post-mortem JSON) to this file")
 	)
 	flag.Parse()
@@ -129,13 +130,16 @@ func main() {
 	// never disagree: the recorder is attached whenever either is on. The
 	// health monitor rides the same recorder as its iteration sink.
 	var rec *telemetry.Recorder
-	if *iterTrace || *profileTo != "" || *healthOn || *flightOut != "" {
+	if *iterTrace || *profileTo != "" || *healthOn || *flightOut != "" || *qualityOn {
 		rec = telemetry.NewRecorder()
 	}
 
 	eopt := engine.DefaultOptions()
 	eopt.Seed = *seed
 	eopt.Profiler = rec
+	if *qualityOn {
+		eopt.Quality = engine.QualityConfig{Enabled: true}
+	}
 	runCtx := context.Background()
 	if *deadline > 0 {
 		ctx, cancel := context.WithTimeout(runCtx, *deadline)
@@ -301,8 +305,8 @@ func main() {
 			fmt.Printf("shards: %d  halo labels: %d  cut arcs: %d\n",
 				len(nres.ShardStats), nres.HaloLabels, nres.CutArcs)
 			for _, ss := range nres.ShardStats {
-				fmt.Printf("  shard %d: %d owned, %d ghosts, %s device memory\n",
-					ss.Shard, ss.Owned, ss.Ghosts, fmtBytes(ss.DeviceBytes))
+				fmt.Printf("  shard %d: %d owned, %d ghosts, %s device memory, %d flips, %d communities\n",
+					ss.Shard, ss.Owned, ss.Ghosts, fmtBytes(ss.DeviceBytes), ss.Moves, ss.Communities)
 			}
 		}
 	}
@@ -313,6 +317,21 @@ func main() {
 	fmt.Printf("time: %v (%.1fM arcs/s)\n", res.Duration.Round(time.Microsecond), rate)
 	fmt.Printf("iterations: %d  converged: %v\n", res.Iterations, res.Converged)
 	fmt.Printf("result: %s\n", sum)
+	if q := res.Quality; q != nil {
+		fmt.Printf("quality: live Q %.6f vs exact %.6f (drift %.2e, max %.2e over %d recomputes)\n",
+			q.Estimate, q.Modularity, q.Drift, q.MaxDrift, q.Recomputes)
+		fmt.Printf("census: %d communities  giant %.1f%%  singletons %.1f%%  entropy %.3f nats\n",
+			q.Communities, 100*q.GiantShare, 100*q.SingletonRate, q.Entropy)
+		fmt.Printf("sizes: 1:%d 2-4:%d 5-16:%d 17-64:%d 65-256:%d 257-1024:%d >1024:%d\n",
+			q.SizeBuckets[0], q.SizeBuckets[1], q.SizeBuckets[2], q.SizeBuckets[3],
+			q.SizeBuckets[4], q.SizeBuckets[5], q.SizeBuckets[6])
+		fmt.Printf("churn: %d flips (low-deg %d, mid %d, high %d)",
+			q.Flips, q.FlipsLow, q.FlipsMid, q.FlipsHigh)
+		if q.ChurnValid {
+			fmt.Printf("  snapshot NMI %.4f", q.ChurnNMI)
+		}
+		fmt.Println()
+	}
 
 	if *iterTrace {
 		fmt.Print(telemetry.FormatIters(res.Trace))

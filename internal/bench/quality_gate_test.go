@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// qualityReport builds a one-table report with quality-modularity (and
+// optionally quality-drift) series, the shape workSeries emits.
+func qualityReport(q map[string]float64, drift map[string]float64) Report {
+	t := Table{ID: "perf"}
+	for label, v := range q {
+		t.Series = append(t.Series, Series{Name: "quality-modularity", Label: label, Values: []float64{v}})
+	}
+	for label, v := range drift {
+		t.Series = append(t.Series, Series{Name: "quality-drift", Label: label, Values: []float64{v}})
+	}
+	return Report{Tables: []Table{t}}
+}
+
+func TestCompareQuality(t *testing.T) {
+	base := qualityReport(map[string]float64{
+		"web/nulpa": 0.62,
+		"web/flpa":  0.60,
+		"road/plp":  0.75,
+	}, nil)
+	cur := qualityReport(map[string]float64{
+		"web/nulpa": 0.40, // fell 0.22 — floor breach
+		"web/flpa":  0.61, // improved
+		"only/here": 0.9,  // unmatched: skipped
+	}, map[string]float64{
+		"web/nulpa": 2e-9,
+		"web/flpa":  5e-3, // drift breach
+	})
+
+	cs := CompareQuality(base, cur)
+	if len(cs) != 2 {
+		t.Fatalf("got %d comparisons, want 2: %+v", len(cs), cs)
+	}
+	// Sorted by descending modularity loss — the floor breach leads.
+	if cs[0].Label != "web/nulpa" || !cs[0].FloorDropped(0.05) || cs[0].DriftExceeded(1e-6) {
+		t.Fatalf("worst cell = %+v", cs[0])
+	}
+	if cs[1].Label != "web/flpa" || cs[1].FloorDropped(0.05) || !cs[1].DriftExceeded(1e-6) {
+		t.Fatalf("second cell = %+v", cs[1])
+	}
+
+	var b strings.Builder
+	if n := WriteQualityGate(&b, cs, 0.05, 1e-6); n != 2 {
+		t.Fatalf("WriteQualityGate counted %d failures, want 2:\n%s", n, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "**FLOOR**") || !strings.Contains(out, "**DRIFT**") {
+		t.Errorf("gate table missing flags:\n%s", out)
+	}
+
+	// The offender line is the acceptance-criteria contract: a floor drop
+	// must be named, and floor breaches outrank drift breaches.
+	off := QualityOffender(cs, 0.05, 1e-6)
+	if !strings.Contains(off, "web/nulpa") || !strings.Contains(off, "floor") {
+		t.Errorf("offender line does not name the floor breach: %q", off)
+	}
+
+	// With a generous floor only the drift breach remains, and it is named.
+	off = QualityOffender(cs, 0.5, 1e-6)
+	if !strings.Contains(off, "web/flpa") || !strings.Contains(off, "drift") {
+		t.Errorf("offender line does not name the drift breach: %q", off)
+	}
+}
+
+func TestCompareQualitySelfClean(t *testing.T) {
+	r := qualityReport(map[string]float64{"web/nulpa": 0.62, "road/plp": 0.75},
+		map[string]float64{"web/nulpa": 1e-9, "road/plp": 2e-9})
+	cs := CompareQuality(r, r)
+	if len(cs) != 2 {
+		t.Fatalf("self-comparison matched %d cells, want 2", len(cs))
+	}
+	var b strings.Builder
+	if n := WriteQualityGate(&b, cs, 0.05, 1e-6); n != 0 {
+		t.Fatalf("self-comparison failed %d cells:\n%s", n, b.String())
+	}
+	if off := QualityOffender(cs, 0.05, 1e-6); off != "" {
+		t.Fatalf("offender on a clean gate: %q", off)
+	}
+
+	// No overlap ⇒ no comparisons, gate passes vacuously.
+	other := qualityReport(map[string]float64{"x/y": 0.5}, nil)
+	if cs := CompareQuality(r, other); len(cs) != 0 {
+		t.Fatalf("disjoint reports produced comparisons: %+v", cs)
+	}
+}

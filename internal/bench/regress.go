@@ -172,11 +172,132 @@ func CompareReports(baseline, current Report) []Comparison {
 	return out
 }
 
-func medianSeries(r Report) map[string]float64 {
+func medianSeries(r Report) map[string]float64 { return namedSeries(r, "median-ms") }
+
+// QualityComparison is the quality-gate verdict on one cell: its baseline
+// and current final modularity plus the current estimator drift. Modularity
+// is higher-is-better, so the gate direction is inverted relative to the
+// runtime gate.
+type QualityComparison struct {
+	// Label is "graph/method", the series label.
+	Label string
+	// BaselineQ and CurrentQ are the final exact modularities.
+	BaselineQ, CurrentQ float64
+	// Drift is the current run's worst |estimate − exact| at any sampled
+	// recompute.
+	Drift float64
+}
+
+// FloorDropped reports whether current modularity fell more than drop below
+// the baseline — the per-cell modularity floor.
+func (c QualityComparison) FloorDropped(drop float64) bool {
+	return c.BaselineQ-c.CurrentQ > drop
+}
+
+// DriftExceeded reports whether the incremental estimator wandered further
+// from the exact recompute than allowed.
+func (c QualityComparison) DriftExceeded(maxDrift float64) bool {
+	return c.Drift > maxDrift
+}
+
+// CompareQuality matches every "quality-modularity" series between two
+// reports by (table id, label), joining the current run's "quality-drift",
+// and returns one QualityComparison per matched cell sorted by descending
+// modularity loss — the worst offender first. Cells present in only one
+// report are skipped, like the runtime gate.
+func CompareQuality(baseline, current Report) []QualityComparison {
+	base := namedSeries(baseline, "quality-modularity")
+	drift := namedSeries(current, "quality-drift")
+	var out []QualityComparison
+	for _, t := range current.Tables {
+		for _, s := range t.Series {
+			if s.Name != "quality-modularity" || len(s.Values) == 0 {
+				continue
+			}
+			key := t.ID + "\x00" + s.Label
+			b, ok := base[key]
+			if !ok {
+				continue
+			}
+			out = append(out, QualityComparison{
+				Label:     s.Label,
+				BaselineQ: b,
+				CurrentQ:  s.Values[0],
+				Drift:     drift[key],
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].BaselineQ-out[a].CurrentQ > out[b].BaselineQ-out[b].CurrentQ
+	})
+	return out
+}
+
+// WriteQualityGate renders the quality comparisons as a markdown table and
+// returns how many cells failed either gate (modularity floor or estimator
+// drift); each failing row names its offender and which gate it tripped.
+func WriteQualityGate(w io.Writer, cs []QualityComparison, drop, maxDrift float64) int {
+	fmt.Fprintf(w, "### quality vs baseline (floor −%.3f, drift ≤ %.1e)\n\n", drop, maxDrift)
+	if len(cs) == 0 {
+		fmt.Fprintln(w, "no comparable cells — baseline and current share no quality-modularity series")
+		return 0
+	}
+	fmt.Fprintln(w, "| cell | baseline Q | current Q | ΔQ | drift | |")
+	fmt.Fprintln(w, "| --- | --- | --- | --- | --- | --- |")
+	failed := 0
+	for _, c := range cs {
+		var flags []string
+		if c.FloorDropped(drop) {
+			flags = append(flags, "**FLOOR**")
+		}
+		if c.DriftExceeded(maxDrift) {
+			flags = append(flags, "**DRIFT**")
+		}
+		if len(flags) > 0 {
+			failed++
+		}
+		fmt.Fprintf(w, "| %s | %.4f | %.4f | %+.4f | %.2e | %s |\n",
+			c.Label, c.BaselineQ, c.CurrentQ, c.CurrentQ-c.BaselineQ, c.Drift,
+			joinFlags(flags))
+	}
+	return failed
+}
+
+// QualityOffender names the worst failing cell for the gate's one-line
+// failure message, or "" when every cell passed.
+func QualityOffender(cs []QualityComparison, drop, maxDrift float64) string {
+	for _, c := range cs {
+		if c.FloorDropped(drop) {
+			return fmt.Sprintf("worst offender: %s modularity %.4f → %.4f (floor −%.3f)",
+				c.Label, c.BaselineQ, c.CurrentQ, drop)
+		}
+	}
+	for _, c := range cs {
+		if c.DriftExceeded(maxDrift) {
+			return fmt.Sprintf("worst offender: %s estimator drift %.2e (limit %.1e)",
+				c.Label, c.Drift, maxDrift)
+		}
+	}
+	return ""
+}
+
+func joinFlags(flags []string) string {
+	out := ""
+	for i, f := range flags {
+		if i > 0 {
+			out += " "
+		}
+		out += f
+	}
+	return out
+}
+
+// namedSeries indexes one series family by (table id, label).
+func namedSeries(r Report, name string) map[string]float64 {
 	m := map[string]float64{}
 	for _, t := range r.Tables {
 		for _, s := range t.Series {
-			if s.Name == "median-ms" && len(s.Values) > 0 {
+			if s.Name == name && len(s.Values) > 0 {
 				m[t.ID+"\x00"+s.Label] = s.Values[0]
 			}
 		}

@@ -22,6 +22,10 @@ import (
 func workSeries(g *graph.CSR, det engine.Detector, opt engine.Options, graphName, method string) []Series {
 	rec := telemetry.NewRecorder()
 	opt.Profiler = rec
+	// The instrumented run also carries the quality plane, so each cell
+	// reports final modularity, estimator drift, and census alongside its
+	// work counters (the quality-* series the bench -check gates judge).
+	opt.Quality = engine.QualityConfig{Enabled: true}
 	res, err := det.Detect(g, opt)
 	if err != nil {
 		panic("bench: " + err.Error())
@@ -29,6 +33,16 @@ func workSeries(g *graph.CSR, det engine.Detector, opt engine.Options, graphName
 	label := graphName + "/" + method
 	work := telemetry.TotalWork(res.Trace)
 	var out []Series
+	if q := res.Quality; q != nil {
+		out = append(out,
+			Series{Name: "quality-modularity", Label: label, Values: []float64{q.Modularity}},
+			Series{Name: "quality-drift", Label: label, Values: []float64{q.MaxDrift}},
+			Series{Name: "quality-communities", Label: label, Values: []float64{float64(q.Communities)}},
+			Series{Name: "quality-giant-share", Label: label, Values: []float64{q.GiantShare}},
+			Series{Name: "quality-singleton-rate", Label: label, Values: []float64{q.SingletonRate}},
+			Series{Name: "quality-entropy", Label: label, Values: []float64{q.Entropy}},
+		)
+	}
 	for _, c := range telemetry.WorkCounterNames {
 		out = append(out, Series{
 			Name:   "work-" + c,

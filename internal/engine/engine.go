@@ -67,6 +67,12 @@ type Options struct {
 	// produced (and device-level kernel events where the backend supports
 	// them) — the telemetry sink behind cmd/nulpa's -trace and -profile.
 	Profiler *telemetry.Recorder
+	// Quality enables the per-iteration quality telemetry plane: the
+	// registry's instrumented wrapper attaches an incremental modularity
+	// tracker to the run's Profiler (creating one if needed), and the
+	// convergence loop feeds it each iteration's labels. Results gain
+	// Quality/QualityTrace. Disabled (the zero value) it costs nothing.
+	Quality QualityConfig
 	// Extra is the per-algorithm extension point: a detector may accept its
 	// package Options type here for full control of algorithm-specific
 	// parameters (for example nulpa.Options to sweep Pick-Less periods).
@@ -105,6 +111,12 @@ type Result struct {
 	// Extra carries the algorithm's native result (for example
 	// *nulpa.Result) for consumers that need backend-specific detail.
 	Extra any
+	// Quality is the end-of-run quality summary (exact modularity, estimator
+	// drift, census), present when Options.Quality was enabled.
+	Quality *QualitySummary
+	// QualityTrace holds one quality record per observed iteration when
+	// Options.Quality was enabled.
+	QualityTrace []telemetry.QualityRecord
 }
 
 // NewResult builds a Result from raw per-vertex labels, compressing them and
@@ -126,5 +138,10 @@ func (r *Result) Clone() *Result {
 	c := *r
 	c.Labels = append([]uint32(nil), r.Labels...)
 	c.Trace = append([]telemetry.IterRecord(nil), r.Trace...)
+	c.QualityTrace = append([]telemetry.QualityRecord(nil), r.QualityTrace...)
+	if r.Quality != nil {
+		q := *r.Quality
+		c.Quality = &q
+	}
 	return &c
 }

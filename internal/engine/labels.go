@@ -1,21 +1,13 @@
 package engine
 
+import "nulpa/internal/quality"
+
 // CompressLabels renumbers an arbitrary label assignment to the dense range
 // [0, count) in first-appearance order, preserving the partition (two
 // vertices share a label after compression iff they shared one before).
-// It returns the compressed labels and the community count. This is the
-// single renumbering implementation for the repository; quality.Compact and
-// the per-algorithm helpers delegate here.
+// It returns the compressed labels and the community count. The
+// implementation lives in quality (the graph-only bottom layer) so the
+// quality metrics and the engine share one renumbering without a cycle.
 func CompressLabels(labels []uint32) ([]uint32, int) {
-	remap := make(map[uint32]uint32, len(labels)/4+1)
-	out := make([]uint32, len(labels))
-	for i, c := range labels {
-		id, ok := remap[c]
-		if !ok {
-			id = uint32(len(remap))
-			remap[c] = id
-		}
-		out[i] = id
-	}
-	return out, len(remap)
+	return quality.CompressLabels(labels)
 }

@@ -48,6 +48,12 @@ type IterOutcome struct {
 	// cancellation). The loop records the iteration's telemetry, stops
 	// without marking convergence, and surfaces the error in LoopResult.Err.
 	Err error
+	// Labels is the full label assignment after this iteration, for the
+	// quality telemetry plane. Detectors set it to their live label array
+	// (Loop only reads it, synchronously, before the next iteration); nil
+	// skips quality accounting for the iteration. Costs nothing when no
+	// quality observer is attached to the profiler.
+	Labels []uint32
 }
 
 // LoopResult is the bookkeeping Loop accumulates for the detector's result.
@@ -93,6 +99,16 @@ func Loop(cfg LoopConfig, body func(ctx context.Context, iter int) IterOutcome) 
 		if rec.Duration == 0 {
 			rec.Duration = time.Since(iterStart)
 		}
+		// Quality accounting runs before RecordIteration so the health
+		// monitor can fold the quality record into this iteration's frame.
+		var qrec telemetry.QualityRecord
+		qok := false
+		if cfg.Profiler != nil && out.Labels != nil && out.Err == nil {
+			qrec, qok = cfg.Profiler.ObserveQuality(iter, out.Labels)
+			if qok {
+				recordQualityMetrics(ictx, qrec)
+			}
+		}
 		if ispan != nil {
 			ispan.SetInt("iter", int64(iter))
 			ispan.SetInt("deltaN", rec.DeltaN)
@@ -111,6 +127,13 @@ func Loop(cfg LoopConfig, body func(ctx context.Context, iter int) IterOutcome) 
 			}
 			if rec.CrossCheck {
 				ispan.SetBool("crossCheck", true)
+			}
+			if qok {
+				ispan.SetFloat("modularity", qrec.Modularity)
+				ispan.SetInt("communities", int64(qrec.Communities))
+				if qrec.Exact {
+					ispan.SetFloat("qualityDrift", qrec.Drift)
+				}
 			}
 			if out.Err != nil {
 				ispan.SetString("error", out.Err.Error())

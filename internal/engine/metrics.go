@@ -85,6 +85,19 @@ func (w instrumented) Detect(g *graph.CSR, opt Options) (*Result, error) {
 		span.SetInt("arcs", g.NumArcs())
 		opt.Context = dctx
 	}
+	// The quality plane hangs off the profiler: attach the run's incremental
+	// modularity tracker here, so every detector reached through the registry
+	// is quality-accounted without per-algorithm code — the convergence loop
+	// feeds it labels via Recorder.ObserveQuality.
+	var qobs *qualityObserver
+	if opt.Quality.Enabled {
+		if opt.Profiler == nil {
+			opt.Profiler = telemetry.NewRecorder()
+		}
+		qobs = newQualityObserver(g, opt.Quality)
+		opt.Profiler.SetQualityObserver(qobs)
+		defer opt.Profiler.SetQualityObserver(nil)
+	}
 	mActiveRuns.Add(1)
 	start := time.Now()
 	res, err := w.d.Detect(g, opt)
@@ -120,6 +133,16 @@ func (w instrumented) Detect(g *graph.CSR, opt Options) (*Result, error) {
 				mFrontierOccupancy.With(name).Set(
 					float64(work.ActiveVertices) / (float64(it) * float64(n)))
 			}
+		}
+		if qobs != nil {
+			sum := qobs.summary()
+			res.Quality = &sum
+			res.QualityTrace = opt.Profiler.QualityRecords()
+			span.SetFloat("modularity", sum.Modularity)
+			span.SetFloat("qualityDrift", sum.Drift)
+			mQFinal.With(name).Observe(sum.Modularity)
+			mQFinalDrift.Observe(sum.Drift)
+			mQFinalByDetector.With(name).Set(sum.Modularity)
 		}
 	}
 	span.End()

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"context"
+
+	"nulpa/internal/graph"
+	"nulpa/internal/metrics"
+	"nulpa/internal/quality"
+	"nulpa/internal/telemetry"
+	"nulpa/internal/trace"
+)
+
+// QualityConfig enables the per-iteration quality telemetry plane on a run.
+// The zero value disables it, keeping the per-iteration quality accounting at
+// zero allocations (the PR 1 contract).
+type QualityConfig struct {
+	// Enabled turns on the incremental modularity estimator, community
+	// census, and partition-churn accounting for the run.
+	Enabled bool
+	// SampleEvery is the exact-recompute cadence (iterations): each sampled
+	// iteration pays one O(E) modularity recompute, reports estimator drift,
+	// rebases the incremental sums, and computes churn NMI vs the previous
+	// snapshot. 0 means 8; negative disables sampling (the end-of-run
+	// summary still recomputes exactly).
+	SampleEvery int
+	// Gamma is the modularity resolution γ (0 means 1).
+	Gamma float64
+}
+
+// QualitySummary is the end-of-run quality verdict attached to Result when
+// quality telemetry was enabled — exact modularity plus the estimator's
+// accuracy record and the final community census.
+type QualitySummary struct {
+	// Modularity is the exact end-of-run Q; Estimate is the live estimator's
+	// final value and Drift their absolute difference. MaxDrift is the worst
+	// drift across all sampled recomputes; Recomputes counts them.
+	Modularity float64 `json:"modularity"`
+	Estimate   float64 `json:"estimate"`
+	Drift      float64 `json:"drift"`
+	MaxDrift   float64 `json:"maxDrift"`
+	Recomputes int     `json:"recomputes"`
+	// Observed counts the iterations with quality accounting.
+	Observed int `json:"observed"`
+
+	Communities   int      `json:"communities"`
+	GiantShare    float64  `json:"giantShare"`
+	SingletonRate float64  `json:"singletonRate"`
+	Entropy       float64  `json:"entropy"`
+	SizeBuckets   [7]int64 `json:"sizeBuckets"`
+
+	Flips     int64 `json:"flips"`
+	FlipsLow  int64 `json:"flipsLow"`
+	FlipsMid  int64 `json:"flipsMid"`
+	FlipsHigh int64 `json:"flipsHigh"`
+
+	ChurnNMI   float64 `json:"churnNMI"`
+	ChurnValid bool    `json:"churnValid,omitempty"`
+}
+
+// The engine_quality_* families: iteration-grained gauges fed by Loop (the
+// fleet-level "how good are the communities right now" view) and run-grained
+// histograms fed by the instrumented registry wrapper. The recompute counter
+// carries trace exemplars so a surprising drift sample links to its run.
+var (
+	mQModularity = metrics.NewGauge("engine_quality_modularity",
+		"Most recent quality-observed iteration's live modularity estimate.")
+	mQDrift = metrics.NewGauge("engine_quality_drift",
+		"Most recent sampled recompute's estimator drift |Q̂ − Q_exact|.")
+	mQCommunities = metrics.NewGauge("engine_quality_communities",
+		"Most recent quality-observed iteration's community count.")
+	mQGiantShare = metrics.NewGauge("engine_quality_giant_share",
+		"Most recent quality-observed iteration's largest-community share of |V|.")
+	mQSingletonRate = metrics.NewGauge("engine_quality_singleton_rate",
+		"Most recent quality-observed iteration's singleton share of communities.")
+	mQEntropy = metrics.NewGauge("engine_quality_entropy",
+		"Most recent quality-observed iteration's label entropy (nats).")
+	mQChurn = metrics.NewGauge("engine_quality_churn_nmi",
+		"Most recent sampled NMI against the previous snapshot (1 = stable).")
+	mQRecomputes = metrics.NewCounter("engine_quality_recomputes_total",
+		"Sampled exact modularity recomputes (exemplars carry the run's trace id).")
+	mQFlips = metrics.NewCounterVec("engine_quality_flips_total",
+		"Label flips observed by the quality plane, by degree class of the flipping vertex.", "degree")
+	mQFinal = metrics.NewHistogramVec("engine_quality_modularity_final",
+		"End-of-run exact modularity.", "detector", modularityBuckets())
+	mQFinalDrift = metrics.NewHistogram("engine_quality_estimator_drift",
+		"End-of-run |estimate − exact| of the incremental modularity estimator.",
+		metrics.ExpBuckets(1e-15, 10, 12))
+	mQFinalByDetector = metrics.NewGaugeVec("engine_quality_run_modularity",
+		"Most recent completed run's exact modularity, per detector.", "detector")
+)
+
+// modularityBuckets spans Q's range [-0.5, 1] in steps of 0.1.
+func modularityBuckets() []float64 {
+	b := make([]float64, 0, 16)
+	for q := -0.5; q < 1.01; q += 0.1 {
+		b = append(b, q)
+	}
+	return b
+}
+
+// qualityObserver adapts a quality.Tracker to the telemetry.QualityObserver
+// seam, converting LiveStats into the wire-level QualityRecord. One observer
+// serves one run.
+type qualityObserver struct {
+	t *quality.Tracker
+}
+
+// newQualityObserver builds the run's quality tracker over g.
+func newQualityObserver(g *graph.CSR, cfg QualityConfig) *qualityObserver {
+	return &qualityObserver{t: quality.NewTracker(g, quality.TrackerConfig{
+		Gamma:       cfg.Gamma,
+		SampleEvery: cfg.SampleEvery,
+	})}
+}
+
+func (o *qualityObserver) ObserveLabels(iter int, labels []uint32) (telemetry.QualityRecord, bool) {
+	ls, ok := o.t.Observe(iter, labels)
+	if !ok {
+		return telemetry.QualityRecord{}, false
+	}
+	return telemetry.QualityRecord{
+		Iter:            iter,
+		Modularity:      ls.Modularity,
+		DeltaQ:          ls.DeltaQ,
+		Exact:           ls.Exact,
+		ExactModularity: ls.ExactModularity,
+		Drift:           ls.Drift,
+		Communities:     ls.Communities,
+		GiantShare:      ls.GiantShare,
+		SingletonRate:   ls.SingletonRate,
+		Entropy:         ls.Entropy,
+		SizeBuckets:     ls.SizeBuckets,
+		Flips:           ls.Flips,
+		FlipsLow:        ls.FlipsLow,
+		FlipsMid:        ls.FlipsMid,
+		FlipsHigh:       ls.FlipsHigh,
+		ChurnNMI:        ls.ChurnNMI,
+		ChurnValid:      ls.ChurnValid,
+	}, true
+}
+
+// summary closes out the run: one final exact recompute folded with the
+// tracker's accuracy record and census.
+func (o *qualityObserver) summary() QualitySummary {
+	fs := o.t.Final()
+	return QualitySummary{
+		Modularity:    fs.Modularity,
+		Estimate:      fs.Estimate,
+		Drift:         fs.Drift,
+		MaxDrift:      fs.MaxDrift,
+		Recomputes:    fs.Recomputes,
+		Observed:      fs.Observed,
+		Communities:   fs.Communities,
+		GiantShare:    fs.GiantShare,
+		SingletonRate: fs.SingletonRate,
+		Entropy:       fs.Entropy,
+		SizeBuckets:   fs.SizeBuckets,
+		Flips:         fs.Flips,
+		FlipsLow:      fs.FlipsLow,
+		FlipsMid:      fs.FlipsMid,
+		FlipsHigh:     fs.FlipsHigh,
+		ChurnNMI:      fs.ChurnNMI,
+		ChurnValid:    fs.ChurnValid,
+	}
+}
+
+// recordQualityMetrics publishes one iteration's quality record on the
+// metrics plane. ctx carries the iteration span's trace for exemplars.
+func recordQualityMetrics(ctx context.Context, rec telemetry.QualityRecord) {
+	mQModularity.Set(rec.Modularity)
+	mQCommunities.Set(float64(rec.Communities))
+	mQGiantShare.Set(rec.GiantShare)
+	mQSingletonRate.Set(rec.SingletonRate)
+	mQEntropy.Set(rec.Entropy)
+	if rec.FlipsLow > 0 {
+		mQFlips.With("low").Add(rec.FlipsLow)
+	}
+	if rec.FlipsMid > 0 {
+		mQFlips.With("mid").Add(rec.FlipsMid)
+	}
+	if rec.FlipsHigh > 0 {
+		mQFlips.With("high").Add(rec.FlipsHigh)
+	}
+	if rec.Exact {
+		mQDrift.Set(rec.Drift)
+		mQRecomputes.IncExemplar(trace.IDFromContext(ctx))
+	}
+	if rec.ChurnValid {
+		mQChurn.Set(rec.ChurnNMI)
+	}
+}

@@ -1,0 +1,140 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"nulpa/internal/engine"
+	_ "nulpa/internal/engine/all"
+	"nulpa/internal/quality"
+	"nulpa/internal/telemetry"
+)
+
+// The quality-plane conformance suite: every registered detector run with
+// Options.Quality enabled must produce a QualitySummary whose incremental
+// estimate stayed within 1e-6 of the exact modularity at every sampled
+// recompute, a per-iteration QualityTrace, and a final summary that agrees
+// with an independent exact evaluation of the returned labels. Detectors get
+// this for free from the instrumented registry wrapper — a new algorithm
+// joins the suite by registering and setting IterOutcome.Labels.
+
+func TestQualityConformance(t *testing.T) {
+	graphs := conformanceGraphs()
+	for _, name := range detectors(t) {
+		for gname, g := range graphs {
+			t.Run(name+"/"+gname, func(t *testing.T) {
+				det, err := engine.MustGet(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt := engine.DefaultOptions()
+				opt.Workers = 2
+				opt.Quality = engine.QualityConfig{Enabled: true, SampleEvery: 2}
+				res, err := det.Detect(g, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				q := res.Quality
+				if q == nil {
+					t.Fatal("Quality enabled but Result.Quality is nil")
+				}
+				if q.Observed <= 0 {
+					t.Fatal("quality plane observed no iterations")
+				}
+				if len(res.QualityTrace) != q.Observed {
+					t.Errorf("QualityTrace has %d records, summary observed %d",
+						len(res.QualityTrace), q.Observed)
+				}
+				// The acceptance bound: at every sampled recompute the live
+				// estimate is within 1e-6 of the exact value, and the summary
+				// carries the worst of them.
+				for _, rec := range res.QualityTrace {
+					if rec.Exact && rec.Drift > 1e-6 {
+						t.Errorf("iter %d: estimator drift %v exceeds 1e-6", rec.Iter, rec.Drift)
+					}
+				}
+				if q.MaxDrift > 1e-6 {
+					t.Errorf("max estimator drift %v exceeds 1e-6", q.MaxDrift)
+				}
+				// The final exact recompute runs on the detector's last
+				// observed labels. Overlapping-community methods (and Louvain's
+				// projections) may post-process labels after the last observed
+				// iteration, so compare against the tracked state only via the
+				// census invariant below, and check absolute agreement for the
+				// detectors whose Labels are the final state.
+				if q.Communities <= 0 || q.Communities > g.NumVertices() {
+					t.Errorf("census communities %d outside (0, |V|]", q.Communities)
+				}
+				var bucketTotal int64
+				for _, b := range q.SizeBuckets {
+					bucketTotal += b
+				}
+				if bucketTotal != int64(q.Communities) {
+					t.Errorf("size buckets sum %d != communities %d", bucketTotal, q.Communities)
+				}
+				if q.GiantShare <= 0 || q.GiantShare > 1 {
+					t.Errorf("giant share %v outside (0, 1]", q.GiantShare)
+				}
+			})
+		}
+	}
+}
+
+// TestQualityFinalMatchesResultLabels pins the strongest form of the
+// contract on the ν-LPA family, whose observed labels are exactly the
+// returned labels: the summary's exact modularity equals an independent
+// quality.Modularity of Result.Labels.
+func TestQualityFinalMatchesResultLabels(t *testing.T) {
+	g := conformanceGraphs()["planted"]
+	for _, name := range []string{"nulpa", "nulpa-direct", "nulpa-sharded", "plp", "gunrock", "gvelpa"} {
+		t.Run(name, func(t *testing.T) {
+			det, err := engine.MustGet(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := engine.DefaultOptions()
+			opt.Workers = 2
+			opt.Quality = engine.QualityConfig{Enabled: true}
+			res, err := det.Detect(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Quality == nil {
+				t.Fatal("Result.Quality is nil")
+			}
+			// Result.Labels are compressed after the loop; modularity is
+			// renaming-invariant so the comparison still holds.
+			exact := quality.Modularity(g, res.Labels)
+			if d := math.Abs(res.Quality.Modularity - exact); d > 1e-9 {
+				t.Errorf("summary modularity %v vs exact %v on returned labels (d=%v)",
+					res.Quality.Modularity, exact, d)
+			}
+		})
+	}
+}
+
+// TestQualityDisabledLeavesResultBare: the default path must not grow a
+// quality summary, a trace, or an attached observer.
+func TestQualityDisabledLeavesResultBare(t *testing.T) {
+	g := conformanceGraphs()["planted"]
+	det, err := engine.MustGet("nulpa-direct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := engine.DefaultOptions()
+	rec := telemetry.NewRecorder()
+	opt.Profiler = rec
+	res, err := det.Detect(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != nil || res.QualityTrace != nil {
+		t.Error("quality fields populated without Quality.Enabled")
+	}
+	if rec.WantsQuality() {
+		t.Error("recorder has a quality observer without Quality.Enabled")
+	}
+	if recs := rec.QualityRecords(); len(recs) != 0 {
+		t.Errorf("%d quality records on a disabled run", len(recs))
+	}
+}

@@ -20,6 +20,12 @@ type ShardLoopConfig struct {
 	// halo labels exchanged. durs is indexed by shard and only valid for the
 	// duration of the call.
 	OnSuperstep func(iter int, durs []time.Duration, barrierWait time.Duration, exchanged int64)
+	// GatherLabels, when non-nil, returns the global label assignment after
+	// a superstep (the sharded backend scatters owned labels into a reused
+	// buffer). It is consulted only when the profiler has a quality observer
+	// attached, so supersteps pay no gather cost otherwise; the result feeds
+	// the quality plane exactly like a single-device iteration's labels.
+	GatherLabels func() []uint32
 }
 
 // ShardLoop drives the BSP superstep loop of a sharded multi-device run:
@@ -89,6 +95,12 @@ func ShardLoop(cfg ShardLoopConfig,
 		// iteration, so a sink can fold shard skew into the same frame.
 		if cfg.Profiler != nil {
 			cfg.Profiler.RecordSuperstep(iter, durs, wait, exchanged)
+			// Per-shard label arrays never reach the quality plane (they
+			// carry ghosts and local indexing); the gathered global view
+			// does, post-exchange, so halo staleness shows up in Q.
+			if agg.Err == nil && cfg.GatherLabels != nil && cfg.Profiler.WantsQuality() {
+				agg.Labels = cfg.GatherLabels()
+			}
 		}
 		return agg
 	})

@@ -132,7 +132,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		return engine.IterOutcome{Record: telemetry.IterRecord{
 			Moves: changed, DeltaN: changed,
 			EdgeVisits: edges, ActiveVertices: visited,
-		}}
+		}, Labels: cur}
 	})
 	if lr.Err != nil {
 		return nil, lr.Err

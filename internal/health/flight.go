@@ -10,12 +10,13 @@ import (
 	"time"
 
 	"nulpa/internal/metrics"
+	"nulpa/internal/telemetry"
 	"nulpa/internal/trace"
 )
 
 // FlightSchema versions the bundle layout. Bump on any field removal or
 // rename; additions are backward compatible.
-const FlightSchema = 1
+const FlightSchema = 2
 
 // FlightBundle is the post-mortem flight recording of one run: the last
 // RingSize health frames, the event annotation track, a metrics-registry
@@ -44,6 +45,10 @@ type FlightBundle struct {
 	// Events is the annotation track (state transitions, fault retries,
 	// externally recorded outcomes).
 	Events []Event `json:"events,omitempty"`
+	// Quality is the sampled (exact-recompute) quality-record track, oldest
+	// first — present only when the run carried a quality observer
+	// (schema 2).
+	Quality []telemetry.QualityRecord `json:"quality,omitempty"`
 	// Metrics is a flattened registry snapshot at capture time.
 	Metrics []metrics.MetricValue `json:"metrics,omitempty"`
 	// Spans is the run's recorded span set (resident in the tracer ring at
@@ -71,6 +76,7 @@ func (m *Monitor) Flight(reason string) *FlightBundle {
 		State:      m.state,
 		Frames:     m.lastFrames(len(m.frames)),
 		Events:     append([]Event(nil), m.events...),
+		Quality:    append([]telemetry.QualityRecord(nil), m.qualityTrack...),
 	}
 	m.mu.Unlock()
 
@@ -135,19 +141,21 @@ func DecodeFlight(data []byte) (*FlightBundle, error) {
 // from struct tags so the descriptor cannot drift from the encoder. CI's
 // health-smoke compares it against testdata/flight_schema.golden.json.
 type SchemaDescriptor struct {
-	Schema int      `json:"schema"`
-	Bundle []string `json:"bundle"`
-	Frame  []string `json:"frame"`
-	Event  []string `json:"event"`
+	Schema  int      `json:"schema"`
+	Bundle  []string `json:"bundle"`
+	Frame   []string `json:"frame"`
+	Event   []string `json:"event"`
+	Quality []string `json:"quality"`
 }
 
 // Schema returns this build's flight-bundle schema descriptor.
 func Schema() SchemaDescriptor {
 	return SchemaDescriptor{
-		Schema: FlightSchema,
-		Bundle: jsonFields(reflect.TypeOf(FlightBundle{})),
-		Frame:  jsonFields(reflect.TypeOf(Frame{})),
-		Event:  jsonFields(reflect.TypeOf(Event{})),
+		Schema:  FlightSchema,
+		Bundle:  jsonFields(reflect.TypeOf(FlightBundle{})),
+		Frame:   jsonFields(reflect.TypeOf(Frame{})),
+		Event:   jsonFields(reflect.TypeOf(Event{})),
+		Quality: jsonFields(reflect.TypeOf(telemetry.QualityRecord{})),
 	}
 }
 

@@ -53,6 +53,11 @@ const (
 	// StateStalled: the iteration took StallFactor× the recent median wall
 	// time — an SM stall, a livelocked kernel, or a rollback/retry storm.
 	StateStalled State = "stalled"
+	// StateCollapse: the quality plane reports modularity has fallen
+	// Config.CollapseDrop below the run's peak — the partition is degrading
+	// even if the flip counters look healthy (the quality-collapse verdict
+	// only exists when a quality observer feeds the monitor).
+	StateCollapse State = "quality-collapse"
 )
 
 // stallFloor is the minimum iteration wall time before a duration blow-up
@@ -116,6 +121,32 @@ type Frame struct {
 	// HaloLabels is the number of ghost labels exchanged at the barrier.
 	HaloLabels int64 `json:"haloLabels,omitempty"`
 
+	// Quality-plane signals, populated when a quality observer feeds the
+	// monitor (HasQuality false ⇒ the rest are zero-valued).
+	HasQuality bool `json:"hasQuality,omitempty"`
+	// Modularity is the live incremental estimate after this iteration.
+	Modularity float64 `json:"modularity,omitempty"`
+	// DeltaQ is the modularity change this iteration contributed.
+	DeltaQ float64 `json:"deltaQ,omitempty"`
+	// QualityDrift is |estimate − exact| at the last sampled recompute
+	// (present only on sampled iterations).
+	QualityDrift float64 `json:"qualityDrift,omitempty"`
+	// Communities is the live community count.
+	Communities int `json:"communities,omitempty"`
+	// GiantShare is the largest community's share of |V|.
+	GiantShare float64 `json:"giantShare,omitempty"`
+	// SingletonRate is the fraction of vertices alone in their community.
+	SingletonRate float64 `json:"singletonRate,omitempty"`
+	// LabelEntropy is the Shannon entropy (nats) of the community-size
+	// distribution.
+	LabelEntropy float64 `json:"labelEntropy,omitempty"`
+	// ChurnNMI is NMI versus the previous sampled snapshot (0 until two
+	// samples exist; meaningful only when HasQuality).
+	ChurnNMI float64 `json:"churnNMI,omitempty"`
+	// QualityTrend is the per-iteration modularity slope over the window's
+	// quality-bearing frames; |trend| ≤ PlateauEps reads as a plateau.
+	QualityTrend float64 `json:"qualityTrend,omitempty"`
+
 	// State is the verdict after folding this frame in.
 	State State `json:"state"`
 }
@@ -151,6 +182,12 @@ type Config struct {
 	// StragglerSkew is the max/median superstep-time ratio that flags a
 	// straggler shard (default 2).
 	StragglerSkew float64
+	// CollapseDrop is how far modularity may fall below the run's peak
+	// before the quality-collapse verdict fires (default 0.1).
+	CollapseDrop float64
+	// PlateauEps bounds |QualityTrend| for the quality-plateau signal that
+	// confirms convergence (default 1e-4).
+	PlateauEps float64
 	// TraceID tags metric exemplars and resolves the run's spans into the
 	// flight bundle.
 	TraceID string
@@ -190,6 +227,16 @@ type Monitor struct {
 	nextSub  int
 	closed   bool
 	lastIter int
+
+	// Quality-plane state: the record waiting to be folded into its
+	// iteration's frame, the run's peak modularity (collapse reference), and
+	// a bounded track of sampled (exact-recompute) records for the flight
+	// bundle.
+	pendingQuality telemetry.QualityRecord
+	pendingQValid  bool
+	peakQ          float64
+	havePeakQ      bool
+	qualityTrack   []telemetry.QualityRecord
 }
 
 // subscriber is one live consumer's server-side record: its buffered frame
@@ -255,6 +302,12 @@ func New(cfg Config) *Monitor {
 	}
 	if cfg.StragglerSkew <= 0 {
 		cfg.StragglerSkew = 2
+	}
+	if cfg.CollapseDrop <= 0 {
+		cfg.CollapseDrop = 0.1
+	}
+	if cfg.PlateauEps <= 0 {
+		cfg.PlateauEps = 1e-4
 	}
 	if cfg.Threshold < 1 {
 		cfg.Threshold = 1
@@ -326,6 +379,44 @@ func (m *Monitor) ObserveSuperstep(iter int, durs []time.Duration, barrierWait t
 	m.mu.Unlock()
 }
 
+// ObserveQuality implements telemetry.IterSink: it holds the iteration's
+// quality record for the frame derivation that follows, tracks the run's
+// peak modularity (the collapse reference), and retains sampled
+// (exact-recompute) records on the bounded flight track.
+func (m *Monitor) ObserveQuality(rec telemetry.QualityRecord) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.pendingQuality = rec
+	m.pendingQValid = true
+	if !m.havePeakQ || rec.Modularity > m.peakQ {
+		m.peakQ = rec.Modularity
+		m.havePeakQ = true
+	}
+	if rec.Exact {
+		if len(m.qualityTrack) >= m.cfg.RingSize {
+			copy(m.qualityTrack, m.qualityTrack[1:])
+			m.qualityTrack = m.qualityTrack[:len(m.qualityTrack)-1]
+		}
+		m.qualityTrack = append(m.qualityTrack, rec)
+	}
+}
+
+// QualityTrack returns the retained sampled quality records, oldest first.
+func (m *Monitor) QualityTrack() []telemetry.QualityRecord {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]telemetry.QualityRecord(nil), m.qualityTrack...)
+}
+
 func (m *Monitor) stragglerSkew() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -372,6 +463,22 @@ func (m *Monitor) ObserveIteration(rec telemetry.IterRecord) {
 		f.HaloLabels = p.halo
 		m.pending.valid = false
 	}
+	if q := m.pendingQuality; m.pendingQValid && q.Iter == rec.Iter {
+		f.HasQuality = true
+		f.Modularity = q.Modularity
+		f.DeltaQ = q.DeltaQ
+		f.Communities = q.Communities
+		f.GiantShare = q.GiantShare
+		f.SingletonRate = q.SingletonRate
+		f.LabelEntropy = q.Entropy
+		if q.Exact {
+			f.QualityDrift = q.Drift
+		}
+		if q.ChurnValid {
+			f.ChurnNMI = q.ChurnNMI
+		}
+		m.pendingQValid = false
+	}
 
 	m.deriveTrends(&f)
 	m.push(f)
@@ -395,6 +502,9 @@ func (m *Monitor) ObserveIteration(rec telemetry.IterRecord) {
 		mStateRuns.With(string(prev)).Add(-1)
 		mStateRuns.With(string(m.state)).Add(1)
 		mTransitions.With(string(m.state)).IncExemplar(m.cfg.TraceID)
+		if m.state == StateCollapse {
+			mQualityCollapses.IncExemplar(m.cfg.TraceID)
+		}
 		if m.cfg.Span != nil {
 			m.cfg.Span.Event("health:"+string(m.state), map[string]any{
 				"iter": rec.Iter,
@@ -480,6 +590,20 @@ func (m *Monitor) deriveTrends(f *Frame) {
 	}
 	f.FrontierTrend = slope(xs, ys)
 
+	// Modularity trend over the window's quality-bearing frames; a flat
+	// slope on a positive-Q run is the quality-plateau convergence signal.
+	if f.HasQuality {
+		xs, ys = xs[:0], ys[:0]
+		for _, fr := range w {
+			if !fr.HasQuality {
+				continue
+			}
+			xs = append(xs, float64(fr.Iter))
+			ys = append(ys, fr.Modularity)
+		}
+		f.QualityTrend = slope(xs, ys)
+	}
+
 	// Stall: this iteration versus the median of the preceding window.
 	f.DurationFactor = 1
 	if len(w) >= 4 {
@@ -502,14 +626,30 @@ func (m *Monitor) verdict(f Frame) State {
 		return StateWarmup
 	}
 	windowFull := m.total >= m.cfg.Window
+	// Quality collapse: modularity has fallen CollapseDrop below the run's
+	// peak. Checked right after stall — the partition is being destroyed
+	// even when ΔN alone would read as progress. The peak floor (0.05)
+	// keeps noise around Q≈0 warmup values from arming the detector.
+	collapse := f.HasQuality && m.havePeakQ && m.peakQ > 0.05 &&
+		m.peakQ-f.Modularity >= m.cfg.CollapseDrop
+	// Quality plateau: modularity flat across the window on a positive-Q
+	// run while flips are near the threshold — confirms convergence even
+	// when the ΔN decay fit alone is too noisy to call it.
+	plateau := windowFull && f.HasQuality && f.Modularity > 0 &&
+		math.Abs(f.QualityTrend) <= m.cfg.PlateauEps &&
+		float64(f.DeltaN) <= 4*m.cfg.Threshold
 	switch {
 	case f.StallSuspect:
 		return StateStalled
+	case collapse:
+		return StateCollapse
 	case windowFull && f.OscillationScore >= 0.5 && float64(f.DeltaN) > m.cfg.Threshold:
 		return StateOscillating
 	case f.Shards > 1 && f.StragglerSkew >= m.cfg.StragglerSkew:
 		return StateStraggling
 	case f.DecaySlope < -0.05:
+		return StateConverging
+	case plateau:
 		return StateConverging
 	default:
 		return StateHealthy

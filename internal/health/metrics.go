@@ -18,6 +18,8 @@ var (
 		"Currently monitored runs by health state.", "state")
 	mFlightDumps = metrics.NewCounterVec("engine_health_flight_dumps_total",
 		"Flight-recorder bundles captured, by reason.", "reason")
+	mQualityCollapses = metrics.NewCounter("engine_quality_collapses_total",
+		"Runs entering the quality-collapse state (exemplars carry the run's trace id).")
 
 	mETA = metrics.NewGauge("engine_health_eta_iterations",
 		"Most recent frame's extrapolated iterations to convergence (-1 unknown).")

@@ -50,6 +50,14 @@ type JobSpec struct {
 	// fault injection never coalesce or cache: each submission is its own
 	// chaos experiment.
 	Faults string `json:"faults,omitempty"`
+	// Quality attaches the live quality plane: incremental modularity,
+	// community census, and churn per iteration (visible on the SSE health
+	// stream and the final status), plus the sampled exact-recompute track
+	// in any flight bundle.
+	Quality bool `json:"quality,omitempty"`
+	// QualitySampleEvery overrides the exact-recompute cadence (iterations
+	// between rebases; 0 keeps the default).
+	QualitySampleEvery int `json:"qualitySampleEvery,omitempty"`
 }
 
 // JobState is the lifecycle of a job.
@@ -98,6 +106,9 @@ type JobStatus struct {
 	// carry the shared run's result.
 	Coalesced bool `json:"coalesced,omitempty"`
 	CacheHit  bool `json:"cacheHit,omitempty"`
+	// Quality is the final quality-plane summary, present when the job was
+	// submitted with "quality": true and ran to completion.
+	Quality *engine.QualitySummary `json:"quality,omitempty"`
 }
 
 // job is the server-side record.
@@ -163,6 +174,7 @@ func (j *job) status() JobStatus {
 		st.Communities = j.res.Communities
 		st.Modularity = j.mod
 		st.DurationMS = float64(j.res.Duration) / float64(time.Millisecond)
+		st.Quality = j.res.Quality
 	}
 	st.Trace = j.traceID
 	st.Priority = j.priority.String()
@@ -220,8 +232,9 @@ func fingerprint(spec JobSpec) string {
 		return ""
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "algo=%s|iter=%d|tol=%g|seed=%d|workers=%d|block=%d|",
-		spec.Algo, spec.MaxIterations, spec.Tolerance, spec.Seed, spec.Workers, spec.BlockDim)
+	fmt.Fprintf(h, "algo=%s|iter=%d|tol=%g|seed=%d|workers=%d|block=%d|quality=%t/%d|",
+		spec.Algo, spec.MaxIterations, spec.Tolerance, spec.Seed, spec.Workers, spec.BlockDim,
+		spec.Quality, spec.QualitySampleEvery)
 	if spec.Graph.Path != "" {
 		fi, err := os.Stat(spec.Graph.Path)
 		if err != nil {
@@ -482,6 +495,9 @@ func (j *job) execute(ctx context.Context) (out any, err error) {
 	opt.Workers = j.spec.Workers
 	opt.BlockDim = j.spec.BlockDim
 	opt.Profiler = j.rec
+	if j.spec.Quality {
+		opt.Quality = engine.QualityConfig{Enabled: true, SampleEvery: j.spec.QualitySampleEvery}
+	}
 	if j.spec.Algo == "nulpa" || (j.spec.Faults != "" && j.spec.Algo == "nulpa-sharded") {
 		// The SIMT backend's device events feed both the job's recorder and
 		// the live metrics plane through one profiler hook.

@@ -112,11 +112,13 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		res.Iterations += sweeps
 		// Work accounting: every local-moving sweep scans the level graph's
 		// full adjacency once, and aggregation (below) scans it once more.
+		// Labels references the live membership array: by the time Loop reads
+		// it the level's projection below has been applied.
 		out := engine.IterOutcome{Record: telemetry.IterRecord{
 			Moves: moves, DeltaN: moves,
 			EdgeVisits:     int64(sweeps) * work.NumArcs(),
 			ActiveVertices: int64(sweeps) * int64(work.NumVertices()),
-		}}
+		}, Labels: membership}
 		if moves == 0 {
 			return out
 		}

@@ -456,6 +456,9 @@ func (r *deviceRun) iterate(ctx context.Context, iter int) engine.IterOutcome {
 		ForceContinue: st.pickless,
 		// A fixed point under permanent Pick-Less is also converged.
 		Stop: delta == 0 && opt.PickLessEvery == 1,
+		// Labels feed the quality plane on single-device runs; sharded runs
+		// discard the per-shard view and gather a global one instead.
+		Labels: st.labels,
 	}
 }
 

@@ -139,6 +139,7 @@ func detectDirect(g *graph.CSR, opt Options) (*Result, error) {
 			Record:        rec,
 			ForceContinue: st.pickless,
 			Stop:          delta == 0 && opt.PickLessEvery == 1,
+			Labels:        st.labels,
 		}
 	})
 	if lr.Err != nil {

@@ -31,4 +31,8 @@ var (
 		metrics.ExpBuckets(1e-6, 4, 12))
 	mShardSupersteps = metrics.NewCounter("nulpa_shard_supersteps_total",
 		"BSP supersteps (barrier crossings) executed by the sharded backend.")
+	mShardCommunities = metrics.NewGaugeVec("nulpa_shard_communities",
+		"Distinct labels among owned vertices at the end of the most recent sharded run, per shard.", "shard")
+	mShardMoves = metrics.NewCounterVec("nulpa_shard_label_flips_total",
+		"Gross label changes executed by the sharded backend, per shard.", "shard")
 )

@@ -241,4 +241,11 @@ type ShardStat struct {
 	// on one shard rolls back that shard only.
 	Retries   int64
 	Rollbacks int64
+	// Moves is the shard's gross label-change count across the run — the
+	// quality plane's per-shard churn attribution.
+	Moves int64
+	// Communities is the number of distinct labels among the shard's owned
+	// vertices at the end of the run (communities spanning shards count once
+	// per shard they touch).
+	Communities int
 }

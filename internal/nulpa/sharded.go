@@ -132,6 +132,10 @@ func detectSharded(g *graph.CSR, opt Options) (*Result, error) {
 		labelArrs[s] = r.st.labels
 	}
 
+	// Reused gather buffer for the quality plane's per-superstep global view
+	// (allocated lazily: only runs with a quality observer ever gather).
+	var qlabels []uint32
+
 	lr := engine.ShardLoop(engine.ShardLoopConfig{
 		LoopConfig: engine.LoopConfig{
 			MaxIterations: opt.MaxIterations,
@@ -143,6 +147,12 @@ func detectSharded(g *graph.CSR, opt Options) (*Result, error) {
 		OnSuperstep: func(_ int, _ []time.Duration, wait time.Duration, _ int64) {
 			mShardSupersteps.Inc()
 			mShardBarrierWait.Observe(wait.Seconds())
+		},
+		GatherLabels: func() []uint32 {
+			if qlabels == nil {
+				qlabels = make([]uint32, n)
+			}
+			return plan.GatherInto(qlabels, labelArrs)
 		},
 	}, func(ctx context.Context, iter, s int) engine.IterOutcome {
 		return runs[s].iterate(ctx, iter)
@@ -177,6 +187,8 @@ func detectSharded(g *graph.CSR, opt Options) (*Result, error) {
 		res.Rollbacks += r.res.Rollbacks
 		res.ShardStats[s].Retries = r.res.Retries
 		res.ShardStats[s].Rollbacks = r.res.Rollbacks
+		res.ShardStats[s].Moves = r.res.Moves
+		mShardMoves.With(strconv.Itoa(s)).Add(r.res.Moves)
 		if res.HashStats != nil {
 			addStats(res.HashStats, r.res.HashStats.Snapshot())
 		}
@@ -185,6 +197,18 @@ func detectSharded(g *graph.CSR, opt Options) (*Result, error) {
 		res.DeltaHistory = append(res.DeltaHistory, rec.DeltaN)
 	}
 	res.Labels = plan.Gather(labelArrs)
+	// Per-shard community census: distinct labels among each shard's owned
+	// rows — the partition-quality attribution that makes a shard whose halo
+	// staleness fragments communities stand out.
+	seen := make(map[uint32]struct{})
+	for s, sh := range plan.Shards {
+		clear(seen)
+		for l := 0; l < sh.Owned; l++ {
+			seen[labelArrs[s][l]] = struct{}{}
+		}
+		res.ShardStats[s].Communities = len(seen)
+		mShardCommunities.With(strconv.Itoa(s)).Set(float64(len(seen)))
+	}
 	return res, nil
 }
 

@@ -51,8 +51,13 @@ type Cell struct {
 
 // Regressed reports whether the cell grew beyond threshold (ratio > threshold).
 // Appeared cells are not regressions: a baseline without work series must not
-// fail the gate the first time counters show up.
-func (c Cell) Regressed(threshold float64) bool { return !c.New && c.Ratio > threshold }
+// fail the gate the first time counters show up. quality-* series are exempt:
+// modularity is higher-is-better (growth is a win, not a regression) and
+// drift lives near float epsilon where ratios are noise — bench -check's
+// dedicated modularity-floor and drift gates judge them on absolute bounds.
+func (c Cell) Regressed(threshold float64) bool {
+	return !c.New && !strings.HasPrefix(c.Metric, "quality-") && c.Ratio > threshold
+}
 
 // severity orders cells by how loudly they changed: |log ratio|, with
 // appeared and vanished cells pinned to the top.

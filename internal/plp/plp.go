@@ -168,7 +168,7 @@ func Detect(g *graph.CSR, opt Options) (*Result, error) {
 		return engine.IterOutcome{Record: telemetry.IterRecord{
 			Moves: updated, DeltaN: updated,
 			EdgeVisits: edges, ActiveVertices: processed,
-		}}
+		}, Labels: labels}
 	})
 	if lr.Err != nil {
 		return nil, lr.Err

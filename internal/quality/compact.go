@@ -1,0 +1,23 @@
+package quality
+
+// CompressLabels renumbers an arbitrary label assignment to the dense range
+// [0, count) in first-appearance order, preserving the partition (two
+// vertices share a label after compression iff they shared one before).
+// It returns the compressed labels and the community count. This is the
+// single renumbering implementation for the repository; engine.CompressLabels
+// and the per-algorithm helpers delegate here — it lives in quality (the
+// bottom of the layering, graph-only imports) so both the engine and the
+// metric functions can reach it without a cycle.
+func CompressLabels(labels []uint32) ([]uint32, int) {
+	remap := make(map[uint32]uint32, len(labels)/4+1)
+	out := make([]uint32, len(labels))
+	for i, c := range labels {
+		id, ok := remap[c]
+		if !ok {
+			id = uint32(len(remap))
+			remap[c] = id
+		}
+		out[i] = id
+	}
+	return out, len(remap)
+}

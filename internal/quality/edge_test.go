@@ -1,0 +1,101 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nulpa/internal/gen"
+)
+
+// Edge-case contracts for the partition-agreement metrics and the modularity
+// pair. These are the degenerate inputs a telemetry plane actually feeds the
+// metrics: empty graphs, converged single-community runs, and labelings that
+// differ only by renaming.
+
+func TestAgreementEmptyLabelings(t *testing.T) {
+	if got := NMI(nil, nil); got != 1 {
+		t.Errorf("NMI(nil, nil) = %v, want 1", got)
+	}
+	if got := NMI([]uint32{}, []uint32{}); got != 1 {
+		t.Errorf("NMI(empty, empty) = %v, want 1", got)
+	}
+	if got := ARI(nil, nil); got != 1 {
+		t.Errorf("ARI(nil, nil) = %v, want 1", got)
+	}
+	if got := ARI([]uint32{}, []uint32{}); got != 1 {
+		t.Errorf("ARI(empty, empty) = %v, want 1", got)
+	}
+}
+
+func TestAgreementSingleCommunity(t *testing.T) {
+	a := []uint32{5, 5, 5, 5, 5, 5}
+	b := []uint32{9, 9, 9, 9, 9, 9}
+	if got := NMI(a, b); got != 1 {
+		t.Errorf("NMI(one community, one community) = %v, want 1", got)
+	}
+	if got := ARI(a, b); got != 1 {
+		t.Errorf("ARI(one community, one community) = %v, want 1", got)
+	}
+	// One trivial vs one informative partition: zero agreement beyond chance.
+	split := []uint32{0, 0, 0, 1, 1, 1}
+	if got := NMI(a, split); got != 0 {
+		t.Errorf("NMI(trivial, split) = %v, want 0", got)
+	}
+	if got := ARI(a, split); got != 0 {
+		t.Errorf("ARI(trivial, split) = %v, want 0", got)
+	}
+}
+
+// TestAgreementPermutationInvariance: relabeling communities must not change
+// either metric — only the partition matters.
+func TestAgreementPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 200
+	a := make([]uint32, n)
+	b := make([]uint32, n)
+	for i := range a {
+		a[i] = uint32(rng.Intn(9))
+		b[i] = uint32(rng.Intn(5))
+	}
+	perm := rng.Perm(1 << 10)
+	pa := make([]uint32, n)
+	for i, l := range a {
+		pa[i] = uint32(perm[l])
+	}
+	if got, want := NMI(pa, b), NMI(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("NMI not permutation invariant: %v vs %v", got, want)
+	}
+	if got, want := ARI(pa, b), ARI(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARI not permutation invariant: %v vs %v", got, want)
+	}
+	if got := NMI(pa, a); got != 1 {
+		t.Errorf("NMI(permuted, original) = %v, want 1", got)
+	}
+	if got := ARI(pa, a); got != 1 {
+		t.Errorf("ARI(permuted, original) = %v, want 1", got)
+	}
+}
+
+// TestModularityMatchesResolutionOne: Modularity must be exactly
+// ModularityResolution at γ=1 on representative inputs, including sparse
+// (non-dense) label universes that exercise the map fallback.
+func TestModularityMatchesResolutionOne(t *testing.T) {
+	g, truth := gen.Planted(gen.PlantedConfig{N: 200, Communities: 8, DegIn: 8, DegOut: 2, Seed: 9})
+	rng := rand.New(rand.NewSource(23))
+	random := make([]uint32, g.NumVertices())
+	sparse := make([]uint32, g.NumVertices())
+	for i := range random {
+		random[i] = uint32(rng.Intn(20))
+		sparse[i] = uint32(rng.Intn(20))*1000 + 1<<20
+	}
+	for name, labels := range map[string][]uint32{
+		"truth": truth, "random": random, "sparse": sparse,
+	} {
+		// Tolerance, not equality: the sparse-label path accumulates over
+		// map iteration order, so two evaluations can differ in the last ulp.
+		if got, want := Modularity(g, labels), ModularityResolution(g, labels, 1); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s: Modularity %v != ModularityResolution(γ=1) %v", name, got, want)
+		}
+	}
+}

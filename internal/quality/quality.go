@@ -8,7 +8,6 @@ import (
 	"math"
 	"sort"
 
-	"nulpa/internal/engine"
 	"nulpa/internal/graph"
 )
 
@@ -121,10 +120,10 @@ func CountCommunities(labels []uint32) int {
 
 // Compact renumbers labels to the dense range [0, count) preserving the
 // partition, and returns the new labels and the community count. Useful
-// before NMI or serialization. It is the engine's canonical compression,
-// re-exported here for callers working with quality metrics.
+// before NMI or serialization. It is an alias of CompressLabels, the
+// repository's canonical renumbering.
 func Compact(labels []uint32) ([]uint32, int) {
-	return engine.CompressLabels(labels)
+	return CompressLabels(labels)
 }
 
 // NMI computes the Normalized Mutual Information between two community
@@ -174,9 +173,14 @@ func NMI(a, b []uint32) float64 {
 		return 1
 	}
 	nmi := 2 * mi / (ha + hb)
-	// Clamp tiny negative values from float error.
+	// Clamp float error at both ends: tiny negatives from near-independent
+	// partitions, and last-ulp overshoots above 1 from identical ones (the
+	// map-order entropy sums need not cancel exactly).
 	if nmi < 0 && nmi > -1e-12 {
 		nmi = 0
+	}
+	if nmi > 1 {
+		nmi = 1
 	}
 	return nmi
 }

@@ -1,0 +1,224 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nulpa/internal/gen"
+	"nulpa/internal/graph"
+)
+
+// randomWalkLabels evolves labels one step: each selected vertex adopts a
+// random neighbour's label — a crude LPA stand-in producing realistic flip
+// streams (including no-ops and multi-vertex cascades).
+func randomWalkLabels(g *graph.CSR, labels []uint32, rng *rand.Rand, flips int) {
+	n := g.NumVertices()
+	for i := 0; i < flips; i++ {
+		u := rng.Intn(n)
+		ts, _ := g.Neighbors(graph.Vertex(u))
+		if len(ts) == 0 {
+			continue
+		}
+		labels[u] = labels[ts[rng.Intn(len(ts))]]
+	}
+}
+
+// TestTrackerIncrementalMatchesExact is the estimator's core contract: after
+// every Observe, the incremental Q̂ equals an independent exact recompute up
+// to float rounding — far inside the 1e-6 budget the acceptance criteria
+// demand at sampled recomputes.
+func TestTrackerIncrementalMatchesExact(t *testing.T) {
+	g, _ := gen.Planted(gen.PlantedConfig{N: 300, Communities: 10, DegIn: 8, DegOut: 2, Seed: 3})
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(11))
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	tr := NewTracker(g, TrackerConfig{SampleEvery: 4})
+	for iter := 0; iter < 40; iter++ {
+		ls, ok := tr.Observe(iter, labels)
+		if !ok {
+			t.Fatalf("iter %d: Observe rejected full-length labels", iter)
+		}
+		exact := Modularity(g, labels)
+		if d := math.Abs(ls.Modularity - exact); d > 1e-9 {
+			t.Fatalf("iter %d: live Q %v vs exact %v (drift %v)", iter, ls.Modularity, exact, d)
+		}
+		if ls.Exact {
+			if d := math.Abs(ls.ExactModularity - exact); d > 1e-12 {
+				t.Fatalf("iter %d: sampled exact %v vs oracle %v", iter, ls.ExactModularity, exact)
+			}
+			if ls.Drift > 1e-6 {
+				t.Fatalf("iter %d: sampled drift %v exceeds 1e-6", iter, ls.Drift)
+			}
+		}
+		randomWalkLabels(g, labels, rng, n/4)
+	}
+	fs := tr.Final()
+	if d := math.Abs(fs.Modularity - Modularity(g, tr.labels)); d > 1e-12 {
+		t.Fatalf("final exact Q off by %v", d)
+	}
+	if fs.MaxDrift > 1e-6 {
+		t.Fatalf("max drift %v exceeds 1e-6", fs.MaxDrift)
+	}
+	if fs.Observed != 40 {
+		t.Fatalf("observed %d, want 40", fs.Observed)
+	}
+	if fs.Recomputes != 10+1 {
+		t.Fatalf("recomputes %d, want 11 (10 sampled + final)", fs.Recomputes)
+	}
+}
+
+// TestTrackerSelfLoops pins the self-loop arc rule: a flipping vertex's
+// self-loop follows it wholesale (intra in the old community, intra in the
+// new), which a naive neighbour-label comparison would double-count.
+func TestTrackerSelfLoops(t *testing.T) {
+	opts := graph.DefaultBuildOptions()
+	opts.DropSelfLoops = false
+	g, err := graph.FromEdges([]graph.Edge{
+		{U: 0, V: 0, W: 3}, {U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 2, W: 1},
+	}, 3, opts)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	tr := NewTracker(g, TrackerConfig{SampleEvery: -1})
+	seqs := [][]uint32{
+		{0, 1, 2},
+		{1, 1, 2}, // vertex 0 (self loop) flips
+		{1, 2, 2}, // vertex 1 flips toward the other self-loop owner
+		{2, 2, 2},
+		{0, 1, 1},
+	}
+	for i, labels := range seqs {
+		ls, ok := tr.Observe(i, labels)
+		if !ok {
+			t.Fatalf("step %d rejected", i)
+		}
+		exact := Modularity(g, labels)
+		if d := math.Abs(ls.Modularity - exact); d > 1e-12 {
+			t.Fatalf("step %d: live Q %v vs exact %v", i, ls.Modularity, exact)
+		}
+	}
+}
+
+// TestTrackerCensus checks the census against the map-based oracle.
+func TestTrackerCensus(t *testing.T) {
+	g, _ := gen.Planted(gen.PlantedConfig{N: 120, Communities: 6, DegIn: 8, DegOut: 1, Seed: 5})
+	labels := make([]uint32, g.NumVertices())
+	for i := range labels {
+		labels[i] = uint32(i % 7) // 7 communities: sizes 18 and 17
+	}
+	labels[0] = 100 // plus one singleton with a sparse label id
+	tr := NewTracker(g, TrackerConfig{})
+	ls, ok := tr.Observe(0, labels)
+	if !ok {
+		t.Fatal("Observe rejected")
+	}
+	sizes := CommunitySizes(labels)
+	if ls.Communities != len(sizes) {
+		t.Errorf("communities %d, want %d", ls.Communities, len(sizes))
+	}
+	giant := 0
+	for _, s := range sizes {
+		if s > giant {
+			giant = s
+		}
+	}
+	if want := float64(giant) / float64(len(labels)); math.Abs(ls.GiantShare-want) > 1e-12 {
+		t.Errorf("giant share %v, want %v", ls.GiantShare, want)
+	}
+	if want := 1.0 / float64(len(sizes)); math.Abs(ls.SingletonRate-want) > 1e-12 {
+		t.Errorf("singleton rate %v, want %v", ls.SingletonRate, want)
+	}
+	var total int64
+	for _, b := range ls.SizeBuckets {
+		total += b
+	}
+	if total != int64(len(sizes)) {
+		t.Errorf("size buckets sum to %d, want %d", total, len(sizes))
+	}
+	if ls.Entropy <= 0 {
+		t.Errorf("entropy %v, want > 0 for a multi-community partition", ls.Entropy)
+	}
+}
+
+// TestTrackerChurn: identical sampled snapshots give churn NMI 1; churn is
+// invalid until two samples exist.
+func TestTrackerChurn(t *testing.T) {
+	g := mustGraph(t, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}}, 4)
+	labels := []uint32{0, 0, 1, 1}
+	tr := NewTracker(g, TrackerConfig{SampleEvery: 1})
+	ls, _ := tr.Observe(0, labels)
+	if ls.ChurnValid {
+		t.Error("first sample should not have churn")
+	}
+	ls, _ = tr.Observe(1, labels)
+	if !ls.ChurnValid || ls.ChurnNMI != 1 {
+		t.Errorf("stable partition churn = (%v, %v), want (1, true)", ls.ChurnNMI, ls.ChurnValid)
+	}
+	fs := tr.Final()
+	if !fs.ChurnValid || fs.ChurnNMI != 1 {
+		t.Errorf("final churn = (%v, %v), want (1, true)", fs.ChurnNMI, fs.ChurnValid)
+	}
+}
+
+// TestTrackerFlipLocality checks the degree-class split: a star's hub is the
+// only high-degree vertex.
+func TestTrackerFlipLocality(t *testing.T) {
+	var edges []graph.Edge
+	for i := 1; i < 80; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.Vertex(i), W: 1})
+	}
+	g := mustGraph(t, edges, 80)
+	labels := make([]uint32, 80)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	tr := NewTracker(g, TrackerConfig{SampleEvery: -1})
+	tr.Observe(0, labels)
+	labels[0] = 1 // hub: degree 79 ⇒ high
+	labels[2] = 1 // leaf: degree 1 ⇒ low
+	labels[3] = 1 // leaf
+	ls, _ := tr.Observe(1, labels)
+	if ls.Flips != 3 || ls.FlipsHigh != 1 || ls.FlipsLow != 2 || ls.FlipsMid != 0 {
+		t.Errorf("flips (total %d, low %d, mid %d, high %d), want (3, 2, 0, 1)",
+			ls.Flips, ls.FlipsLow, ls.FlipsMid, ls.FlipsHigh)
+	}
+}
+
+// TestTrackerSparseLabels: labels at or above |V| must grow the community
+// arrays, not panic, and still agree with the exact recompute.
+func TestTrackerSparseLabels(t *testing.T) {
+	g := mustGraph(t, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}}, 3)
+	tr := NewTracker(g, TrackerConfig{SampleEvery: -1})
+	seqs := [][]uint32{
+		{0, 1, 2},
+		{1 << 20, 1, 2},
+		{1 << 20, 1 << 20, 2},
+	}
+	for i, labels := range seqs {
+		ls, ok := tr.Observe(i, labels)
+		if !ok {
+			t.Fatalf("step %d rejected", i)
+		}
+		exact := Modularity(g, labels)
+		if d := math.Abs(ls.Modularity - exact); d > 1e-12 {
+			t.Fatalf("step %d: live Q %v vs exact %v", i, ls.Modularity, exact)
+		}
+	}
+}
+
+// TestTrackerRejectsWrongLength: shard-local label arrays must be refused,
+// not misinterpreted.
+func TestTrackerRejectsWrongLength(t *testing.T) {
+	g := mustGraph(t, []graph.Edge{{U: 0, V: 1, W: 1}}, 2)
+	tr := NewTracker(g, TrackerConfig{})
+	if _, ok := tr.Observe(0, []uint32{0}); ok {
+		t.Error("Observe accepted short labels")
+	}
+	if fs := tr.Final(); fs.Observed != 0 {
+		t.Errorf("Final observed %d after only rejected calls", fs.Observed)
+	}
+}

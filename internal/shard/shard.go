@@ -256,11 +256,16 @@ func (p *Plan) Exchange(labels [][]uint32, wake func(shard int, ghost graph.Vert
 // out[GlobalID[l]] = labels[s][l] for every owned l of every shard. Ghost
 // entries are ignored — owners are authoritative.
 func (p *Plan) Gather(labels [][]uint32) []uint32 {
-	out := make([]uint32, p.N)
+	return p.GatherInto(make([]uint32, p.N), labels)
+}
+
+// GatherInto is Gather writing into a caller-owned buffer of length N — the
+// allocation-free variant the quality plane uses to gather every superstep.
+func (p *Plan) GatherInto(dst []uint32, labels [][]uint32) []uint32 {
 	for s, sh := range p.Shards {
 		for l := 0; l < sh.Owned; l++ {
-			out[sh.GlobalID[l]] = labels[s][l]
+			dst[sh.GlobalID[l]] = labels[s][l]
 		}
 	}
-	return out
+	return dst
 }

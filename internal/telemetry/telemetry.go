@@ -118,6 +118,10 @@ type IterSink interface {
 	// shards spent waiting for the slowest peer), and the halo labels
 	// exchanged. durs is only valid for the duration of the call.
 	ObserveSuperstep(iter int, durs []time.Duration, barrierWait time.Duration, exchanged int64)
+	// ObserveQuality is called once per iteration with quality accounting
+	// enabled, before that iteration's ObserveIteration, so the sink can
+	// fold partition quality into the same frame.
+	ObserveQuality(rec QualityRecord)
 }
 
 // Recorder collects device events and iteration records for one or more
@@ -125,11 +129,13 @@ type IterSink interface {
 // nulpa.Options.Profiler (or simt.Device.Prof directly). All methods are
 // safe for concurrent use: SM goroutines report spans in parallel.
 type Recorder struct {
-	mu       sync.Mutex
-	base     time.Time
-	launches []*Launch
-	iters    []iterEvent
-	sink     IterSink
+	mu         sync.Mutex
+	base       time.Time
+	launches   []*Launch
+	iters      []iterEvent
+	sink       IterSink
+	qualityObs QualityObserver
+	quality    []QualityRecord
 }
 
 // SetSink attaches an IterSink that will observe every subsequent

@@ -134,6 +134,8 @@ func COPRA(g *graph.CSR, opt COPRAOptions) (*COPRAResult, error) {
 			// a full round (never on the first, where dominants are still
 			// the initial singletons).
 			Stop: changed == 0 && it > 0,
+			// The crisp projection of the fuzzy belonging state.
+			Labels: prevDominant,
 		}
 	})
 	if lr.Err != nil {

@@ -150,7 +150,7 @@ func LabelRank(g *graph.CSR, opt LabelRankOptions) (*LabelRankResult, error) {
 		return engine.IterOutcome{Record: telemetry.IterRecord{
 			Moves: updated, DeltaN: updated,
 			EdgeVisits: edges, ActiveVertices: active,
-		}}
+		}, Labels: dominant}
 	})
 	if lr.Err != nil {
 		return nil, lr.Err

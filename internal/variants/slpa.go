@@ -74,6 +74,14 @@ func SLPA(g *graph.CSR, opt SLPAOptions) (*SLPAResult, error) {
 	heard := map[uint32]int{}
 	var scratch []uint32
 	res := &SLPAResult{}
+	// The quality plane needs crisp labels each round; extracting dominants
+	// from the memories costs an extra pass, so only pay it when a quality
+	// observer is attached.
+	wantQuality := opt.Profiler != nil && opt.Profiler.WantsQuality()
+	var domLabels []uint32
+	if wantQuality {
+		domLabels = make([]uint32, n)
+	}
 	// Threshold 0: SLPA is a fixed-budget method with no convergence rule, so
 	// the loop always runs its full T rounds.
 	lr := engine.Loop(engine.LoopConfig{
@@ -127,10 +135,13 @@ func SLPA(g *graph.CSR, opt SLPAOptions) (*SLPAResult, error) {
 			memSize[v]++
 			stored++
 		}
+		if wantQuality {
+			dominantMemory(memory, domLabels, &scratch)
+		}
 		return engine.IterOutcome{Record: telemetry.IterRecord{
 			Moves: stored, DeltaN: stored,
 			EdgeVisits: edges, ActiveVertices: active,
-		}}
+		}, Labels: domLabels}
 	})
 	if lr.Err != nil {
 		return nil, lr.Err
@@ -138,21 +149,7 @@ func SLPA(g *graph.CSR, opt SLPAOptions) (*SLPAResult, error) {
 	res.Iterations = lr.Iterations
 	res.Trace = lr.Trace
 	labels := make([]uint32, n)
-	for v := 0; v < n; v++ {
-		scratch = scratch[:0]
-		for l := range memory[v] {
-			scratch = append(scratch, l)
-		}
-		slices.Sort(scratch)
-		best, bestC := uint32(v), -1
-		for _, l := range scratch {
-			c := memory[v][l]
-			if c > bestC || (c == bestC && l == uint32(v)) {
-				best, bestC = l, c
-			}
-		}
-		labels[v] = best
-	}
+	dominantMemory(memory, labels, &scratch)
 	res.Labels = labels
 	res.Memory = memory
 	res.Duration = time.Since(start)
@@ -203,4 +200,26 @@ func (r *SLPAResult) OverlapThreshold(frac float64) [][]uint32 {
 		}
 	}
 	return out
+}
+
+// dominantMemory extracts each vertex's most frequent memory label into dst
+// (ties prefer the vertex's own id; the sorted scan keeps the choice
+// deterministic). scratch is reused across calls.
+func dominantMemory(memory []map[uint32]int, dst []uint32, scratch *[]uint32) {
+	for v := range memory {
+		s := (*scratch)[:0]
+		for l := range memory[v] {
+			s = append(s, l)
+		}
+		slices.Sort(s)
+		best, bestC := uint32(v), -1
+		for _, l := range s {
+			c := memory[v][l]
+			if c > bestC || (c == bestC && l == uint32(v)) {
+				best, bestC = l, c
+			}
+		}
+		dst[v] = best
+		*scratch = s
+	}
 }

@@ -9,6 +9,8 @@
 #      paper's parameter sweeps); the rest are reached via the registry.
 #   3. nulpa/internal/sched schedules opaque closures; among nulpa packages
 #      it may import only metrics and trace, never graphs/engines/HTTP.
+#      nulpa/internal/quality evaluates partitions; among nulpa packages it
+#      may import only graph, keeping it usable from every layer.
 #   4. Exemptions, each for a reason the registry cannot express:
 #      nulpa/internal/engine/all exists to blank-import every algorithm so a
 #      registry consumer pulls them all in with one import, and
@@ -38,6 +40,15 @@ BEGIN {
         # Only cmd/bench and cmd/perfdiff may consume it.
         if (imp == "nulpa/internal/perfdiff" && pkg != "nulpa/cmd/bench" && pkg != "nulpa/cmd/perfdiff") {
             print pkg " imports nulpa/internal/perfdiff (only cmd/bench and cmd/perfdiff may; perfdiff is the top of the capture stack)"
+            bad = 1
+        }
+        # quality is a pure evaluation layer: modularity, census, and
+        # agreement metrics over a graph and labels. Among nulpa packages it
+        # may import only graph — never engine, telemetry, or detectors, so
+        # every layer (including telemetry itself) can depend on it without
+        # cycles.
+        if (pkg == "nulpa/internal/quality" && imp ~ /^nulpa\// && imp != "nulpa/internal/graph") {
+            print pkg " imports " imp " (quality may import only graph among nulpa packages)"
             bad = 1
         }
         # sched is a generic serving primitive: it schedules opaque closures

@@ -1,0 +1,131 @@
+#!/bin/sh
+# quality_smoke.sh — end-to-end check of the quality telemetry plane: a
+# one-shot run on a planted-partition graph with -quality must print the
+# live-vs-exact modularity line with estimator drift inside the 1e-6 budget
+# and a modularity above the planted floor; a live -serve instance must run
+# a quality-enabled job, report the final summary on the job status, and
+# expose engine_quality_run_modularity on /metrics within tolerance of it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# The planted graph's ground-truth structure is strong (deg_in 8 vs deg_out
+# ~1 per foreign community); any LPA-family detector should land well above
+# this floor. The drift budget matches the acceptance criterion for the
+# incremental estimator.
+Q_FLOOR=0.3
+DRIFT_MAX=1e-6
+
+out="$(mktemp -d)"
+srv_pid=""
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$out"
+}
+trap cleanup EXIT
+
+echo "quality-smoke: building nulpa"
+go build -o "$out/nulpa" ./cmd/nulpa
+
+echo "quality-smoke: one-shot planted run with -quality"
+"$out/nulpa" -algo nulpa -gen planted -n 2000 -deg 8 -seed 7 -quality \
+    > "$out/run.out" 2>&1
+
+grep -q '^quality: live Q' "$out/run.out" || {
+    echo "quality-smoke: FAIL — no quality line in one-shot output" >&2
+    cat "$out/run.out" >&2
+    exit 1
+}
+grep -q '^census: ' "$out/run.out" || {
+    echo "quality-smoke: FAIL — no census line in one-shot output" >&2
+    cat "$out/run.out" >&2
+    exit 1
+}
+
+# quality: live Q 0.621841 vs exact 0.621841 (drift 0.00e+00, max 1.20e-09 over 4 recomputes)
+awk -v floor="$Q_FLOOR" -v dmax="$DRIFT_MAX" '
+/^quality: live Q/ {
+    live = $4 + 0
+    exact = $7 + 0
+    drift = $9; sub(/,$/, "", drift); drift += 0
+    max = $11 + 0
+    if (exact < floor) { printf "quality-smoke: FAIL — exact Q %.4f below planted floor %.2f\n", exact, floor; bad = 1 }
+    d = live - exact; if (d < 0) d = -d
+    if (d > dmax + 0) { printf "quality-smoke: FAIL — live %.6f vs exact %.6f beyond %.1e\n", live, exact, dmax; bad = 1 }
+    if (max > dmax + 0) { printf "quality-smoke: FAIL — max sampled drift %g beyond %g\n", max, dmax; bad = 1 }
+    found = 1
+}
+END {
+    if (!found) { print "quality-smoke: FAIL — quality line not parsed"; exit 1 }
+    exit bad
+}' "$out/run.out" || { cat "$out/run.out" >&2; exit 1; }
+
+echo "quality-smoke: one-shot drift and floor OK"
+
+addr="127.0.0.1:17894"
+echo "quality-smoke: live server on $addr"
+"$out/nulpa" -serve "$addr" > "$out/serve.out" 2>&1 &
+srv_pid=$!
+
+i=0
+until curl -sf "http://$addr/readyz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && { echo "quality-smoke: FAIL — server never ready" >&2; cat "$out/serve.out" >&2; exit 1; }
+    sleep 0.1
+done
+
+echo "quality-smoke: submitting quality-enabled job"
+id=$(curl -sf -X POST "http://$addr/jobs" -H 'Content-Type: application/json' \
+    -d '{"algo":"nulpa","graph":{"gen":"planted","n":2000,"deg":8,"seed":7},"quality":true}' \
+    | sed -n 's/.*"id": *\([0-9][0-9]*\).*/\1/p' | head -1)
+[ -n "$id" ] || { echo "quality-smoke: FAIL — no job id from POST /jobs" >&2; exit 1; }
+
+i=0
+state=""
+while :; do
+    body=$(curl -sf "http://$addr/jobs/$id")
+    state=$(printf '%s' "$body" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -1)
+    case "$state" in
+        done) break ;;
+        failed|canceled) echo "quality-smoke: FAIL — job $state: $body" >&2; exit 1 ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "quality-smoke: FAIL — job never finished: $body" >&2; exit 1; }
+    sleep 0.1
+done
+printf '%s' "$body" > "$out/status.json"
+
+# The summary's modularity is the first "modularity" after the "quality"
+# key (the status also carries a top-level modularity field, earlier).
+status_q=$(awk '/"quality":/ { inq = 1 } inq && /"modularity":/ { gsub(/[",]/, "", $2); print $2; exit }' "$out/status.json")
+[ -n "$status_q" ] || {
+    echo "quality-smoke: FAIL — job status carries no quality summary" >&2
+    cat "$out/status.json" >&2
+    exit 1
+}
+
+echo "quality-smoke: scraping /metrics for engine_quality_run_modularity"
+curl -sf "http://$addr/metrics" > "$out/metrics.out"
+awk -v want="$status_q" -v floor="$Q_FLOOR" '
+$1 ~ /^engine_quality_run_modularity\{detector="nulpa"\}/ {
+    got = $2 + 0
+    d = got - want; if (d < 0) d = -d
+    if (d > 1e-6) { printf "quality-smoke: FAIL — metric %g vs job status %g\n", got, want; bad = 1 }
+    if (got < floor) { printf "quality-smoke: FAIL — metric %g below floor %g\n", got, floor; bad = 1 }
+    found = 1
+}
+END {
+    if (!found) { print "quality-smoke: FAIL — engine_quality_run_modularity{detector=\"nulpa\"} not exposed"; exit 1 }
+    exit bad
+}' "$out/metrics.out" || { grep engine_quality "$out/metrics.out" >&2 || true; exit 1; }
+
+grep -q '^engine_quality_recomputes_total' "$out/metrics.out" || {
+    echo "quality-smoke: FAIL — engine_quality_recomputes_total not exposed" >&2
+    exit 1
+}
+
+kill "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+srv_pid=""
+
+echo "quality-smoke: ok"
